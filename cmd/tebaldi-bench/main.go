@@ -1,0 +1,80 @@
+// Command tebaldi-bench regenerates the tables and figures of the Tebaldi
+// paper's evaluation (§4.6, §5.6). Each experiment id maps to one runner in
+// internal/bench; see DESIGN.md for the per-experiment index.
+//
+// Usage:
+//
+//	tebaldi-bench [-quick] [experiment ...]
+//	tebaldi-bench -list
+//
+// With no experiment arguments, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+var experiments = map[string]func(bench.Params) error{
+	"table3.1": bench.Table31,
+	"fig4.7":   bench.Fig47,
+	"fig4.8":   bench.Fig48,
+	"sec4.6.3": bench.Sec463,
+	"fig4.10":  bench.Fig410,
+	"fig4.11":  bench.Fig411,
+	"table4.1": bench.Table41,
+	"table4.2": bench.Table42,
+	"fig5.5":   bench.Fig55,
+	"fig5.11":  bench.Fig511,
+	"fig5.14":  bench.Fig514,
+	"fig5.17":  bench.Fig517,
+	"table5.1": bench.Table51,
+	"fig5.19":  bench.Fig519,
+	"table5.2": bench.Table52,
+}
+
+var order = []string{
+	"table3.1", "fig4.7", "fig4.8", "sec4.6.3", "fig4.10", "fig4.11",
+	"table4.1", "table4.2", "fig5.5", "fig5.11", "fig5.14", "fig5.17",
+	"table5.1", "fig5.19", "table5.2",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small client counts and short windows")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments))
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = order
+	}
+	p := bench.Params{Out: os.Stdout, Quick: *quick}
+	for _, id := range ids {
+		run, ok := experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n==================== %s ====================\n", id)
+		if err := run(p); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Durability example: commit transactions with write-ahead logging and
+// asynchronous GCP-epoch flushing (§4.5.4), simulate a crash by discarding
+// the in-memory state, and recover the database from the logs — verifying
+// that every durable transaction survived with its latest committed value.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/tebaldi"
+)
+
+func val(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func num(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "tebaldi-durability-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	specs := []*tebaldi.Spec{
+		{Name: "put", Tables: []string{"kv"}, WriteTables: []string{"kv"}},
+	}
+	opts := tebaldi.Options{
+		DurabilityDir: dir,
+		GCPEpoch:      20 * time.Millisecond,
+	}
+	cfg := tebaldi.Leaf(tebaldi.TwoPL, "put")
+
+	db, err := tebaldi.Open(opts, specs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		i := i
+		err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+			return tx.Write(tebaldi.KeyOf("kv", i), val(uint64(i)*3))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Wait for the asynchronous flusher to seal the epoch, then "crash"
+	// (drop all in-memory state; the logs remain on disk).
+	epoch := db.Engine().Wal().Epoch()
+	db.Engine().Wal().WaitDurable(epoch)
+	db.Close()
+	fmt.Printf("committed %d transactions, durable through epoch %d; simulating crash...\n", n, epoch)
+
+	// Recovery: rebuild the database from the write-ahead logs.
+	db2, state, err := tebaldi.Recover(opts, specs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	fmt.Printf("recovered %d committed transactions (%d discarded by the GCP/2PC rules)\n",
+		state.Committed, state.Discarded)
+
+	missing := 0
+	for i := 0; i < n; i++ {
+		if got := num(db2.ReadCommitted(tebaldi.KeyOf("kv", i))); got != uint64(i)*3 {
+			missing++
+		}
+	}
+	if missing > 0 {
+		log.Fatalf("%d durable writes lost", missing)
+	}
+	fmt.Println("all durable writes recovered correctly")
+}

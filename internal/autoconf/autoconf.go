@@ -1,0 +1,174 @@
+// Package autoconf implements Tebaldi's automatic configuration algorithm
+// (Chapter 5): an iterative loop that monitors the live workload, detects
+// the most severe data-contention bottleneck as an exact conflict edge
+// (analysis stage, §5.3), proposes new MCC configurations that optimize that
+// edge (optimization stage, §5.4), and tests each candidate online by
+// reconfiguring the running database and measuring throughput (testing
+// stage, §5.5), keeping the best performer.
+//
+// The loop starts from whatever configuration the engine is running —
+// typically the general initial configuration of §5.2 (SSI over a read-only
+// group and a 2PL update group) — and terminates when no bottleneck is found
+// or no candidate beats the incumbent.
+package autoconf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/profiler"
+)
+
+// Options tune the configuration loop.
+type Options struct {
+	// MeasureWindow is how long each configuration is observed.
+	MeasureWindow time.Duration
+	// Settle is the pause after a reconfiguration before measuring
+	// (caches/batches warm up).
+	Settle time.Duration
+	// MaxIterations bounds the loop.
+	MaxIterations int
+	// Protocol selects the reconfiguration protocol used while testing
+	// candidates (default OnlineUpdate, falling back internally to
+	// partial restart for root-level changes).
+	Protocol engine.Protocol
+	// MinImprovement is the relative throughput gain a candidate must
+	// deliver to replace the incumbent (termination condition).
+	MinImprovement float64
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MeasureWindow <= 0 {
+		o.MeasureWindow = 2 * time.Second
+	}
+	if o.Settle <= 0 {
+		o.Settle = o.MeasureWindow / 4
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 8
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 0.05
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// Candidate is one tested configuration.
+type Candidate struct {
+	Config     *engine.NodeSpec
+	Desc       string
+	Throughput float64
+	Err        error
+}
+
+// Iteration records one round of the loop.
+type Iteration struct {
+	Bottleneck     profiler.Edge
+	Score          time.Duration
+	BaseThroughput float64
+	Candidates     []Candidate
+	Chosen         *engine.NodeSpec
+	Improved       bool
+}
+
+// Result is the outcome of a configuration run.
+type Result struct {
+	Iterations      []Iteration
+	Final           *engine.NodeSpec
+	FinalThroughput float64
+}
+
+// Run executes the configuration loop against a live engine. A workload must
+// be running concurrently (the loop only measures and reconfigures).
+func Run(e *engine.Engine, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	prof := e.Profiler()
+	if !prof.Enabled() {
+		return nil, fmt.Errorf("autoconf: engine profiling is disabled")
+	}
+	res := &Result{}
+
+	measure := func() (float64, []profiler.Edge, map[profiler.Edge]time.Duration) {
+		prof.Window() // drop events from the settle period
+		snap := e.Stats().Snapshot()
+		time.Sleep(opts.MeasureWindow)
+		w := e.Stats().Since(snap)
+		scores := profiler.Scores(prof.Window())
+		var edges []profiler.Edge
+		for ed := range scores {
+			edges = append(edges, ed)
+		}
+		return w.Throughput, edges, scores
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		time.Sleep(opts.Settle)
+		base, _, scores := measure()
+		edge, score, found := profiler.Bottleneck(scores)
+		it := Iteration{BaseThroughput: base, Bottleneck: edge, Score: score}
+		if !found {
+			opts.Log("iteration %d: no contention bottleneck found (%.0f txn/s); done", iter, base)
+			res.Iterations = append(res.Iterations, it)
+			break
+		}
+		opts.Log("iteration %d: base %.0f txn/s, bottleneck %s<->%s (%.1fms blocked)",
+			iter, base, edge.A, edge.B, float64(score.Microseconds())/1000)
+
+		current := e.Config()
+		cands := Propose(current, edge, e)
+		if len(cands) == 0 {
+			opts.Log("iteration %d: no candidate optimizations for edge; done", iter)
+			res.Iterations = append(res.Iterations, it)
+			break
+		}
+
+		bestTput := base * (1 + opts.MinImprovement)
+		var best *engine.NodeSpec
+		for ci := range cands {
+			c := &cands[ci]
+			if err := e.Reconfigure(c.Config, opts.Protocol); err != nil {
+				c.Err = err
+				opts.Log("  candidate %q: reconfigure failed: %v", c.Desc, err)
+				it.Candidates = append(it.Candidates, *c)
+				continue
+			}
+			time.Sleep(opts.Settle)
+			tput, _, _ := measure()
+			c.Throughput = tput
+			opts.Log("  candidate %q: %.0f txn/s  [%s]", c.Desc, tput, c.Config)
+			it.Candidates = append(it.Candidates, *c)
+			if tput > bestTput {
+				bestTput = tput
+				best = c.Config
+			}
+		}
+
+		chosen := current
+		if best != nil {
+			chosen = best
+			it.Improved = true
+		}
+		if err := e.Reconfigure(chosen, opts.Protocol); err != nil {
+			return res, fmt.Errorf("autoconf: restoring configuration: %w", err)
+		}
+		it.Chosen = chosen
+		res.Iterations = append(res.Iterations, it)
+		if !it.Improved {
+			opts.Log("iteration %d: no candidate beat %.0f txn/s; done", iter, base)
+			break
+		}
+		opts.Log("iteration %d: adopted %s (%.0f txn/s)", iter, chosen, bestTput)
+	}
+
+	res.Final = e.Config()
+	snap := e.Stats().Snapshot()
+	time.Sleep(opts.MeasureWindow)
+	res.FinalThroughput = e.Stats().Since(snap).Throughput
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package autoconf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/profiler"
+)
+
+type fakeEngine struct {
+	specs map[string]*core.Spec
+}
+
+func specSet() map[string]*core.Spec {
+	return map[string]*core.Spec{
+		"hot":  {Name: "hot", Tables: []string{"a"}, WriteTables: []string{"a"}},
+		"cold": {Name: "cold", Tables: []string{"b"}, WriteTables: []string{"b"}},
+		"ro":   {Name: "ro", ReadOnly: true, Tables: []string{"a"}},
+		"part": {Name: "part", Tables: []string{"a"}, WriteTables: []string{"a"}, InstanceDomain: 8},
+	}
+}
+
+// buildEngine creates a throwaway engine so Propose can consult real specs.
+func buildEngine(t *testing.T, cfg *engine.NodeSpec) *engine.Engine {
+	t.Helper()
+	var specs []*core.Spec
+	for _, s := range specSet() {
+		specs = append(specs, s)
+	}
+	e, err := engine.New(engine.Options{Shards: 1, GCInterval: -1}, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func initialCfg() *engine.NodeSpec {
+	return engine.G(engine.KindSSI, nil,
+		engine.G(engine.KindNone, []string{"ro"}),
+		engine.G(engine.Kind2PL, []string{"hot", "cold", "part"}))
+}
+
+func TestProposeSelfConflict(t *testing.T) {
+	e := buildEngine(t, initialCfg())
+	cands := Propose(e.Config(), profiler.MakeEdge("hot", "hot"), e)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for self conflict")
+	}
+	sawRP, sawTSO := false, false
+	for _, c := range cands {
+		rendered := c.Config.String()
+		if !strings.Contains(rendered, "hot") {
+			t.Fatalf("candidate lost the type: %s", rendered)
+		}
+		// The hot type must end up alone in a new group.
+		if strings.Contains(c.Desc, "rp group") {
+			sawRP = true
+		}
+		if strings.Contains(c.Desc, "tso group") {
+			sawTSO = true
+		}
+		// All other types must survive.
+		for _, typ := range []string{"cold", "part", "ro"} {
+			if !containsType(c.Config, typ) {
+				t.Fatalf("candidate %q dropped %s: %s", c.Desc, typ, rendered)
+			}
+		}
+	}
+	if !sawRP || !sawTSO {
+		t.Fatalf("expected RP and TSO candidates, got %+v", descs(cands))
+	}
+}
+
+func TestProposeSelfConflictPartitionByInstance(t *testing.T) {
+	e := buildEngine(t, initialCfg())
+	cands := Propose(e.Config(), profiler.MakeEdge("part", "part"), e)
+	found := false
+	for _, c := range cands {
+		if strings.Contains(c.Desc, "per-instance") {
+			found = true
+			if !strings.Contains(c.Config.String(), "8x") {
+				t.Fatalf("PBI candidate lacks clones: %s", c.Config)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no partition-by-instance candidate: %v", descs(cands))
+	}
+}
+
+func TestProposePairSameGroup(t *testing.T) {
+	e := buildEngine(t, initialCfg())
+	cands := Propose(e.Config(), profiler.MakeEdge("hot", "cold"), e)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		for _, typ := range []string{"hot", "cold", "part", "ro"} {
+			if !containsType(c.Config, typ) {
+				t.Fatalf("candidate %q dropped %s: %s", c.Desc, typ, c.Config)
+			}
+		}
+	}
+}
+
+func TestProposePairReadOnlyGetsSSI(t *testing.T) {
+	e := buildEngine(t, initialCfg())
+	cands := Propose(e.Config(), profiler.MakeEdge("ro", "hot"), e)
+	found := false
+	for _, c := range cands {
+		if strings.Contains(c.Desc, "under ssi") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("read-write edge should propose SSI: %v", descs(cands))
+	}
+}
+
+func TestProposeSelfReadOnlyNothing(t *testing.T) {
+	e := buildEngine(t, initialCfg())
+	if cands := Propose(e.Config(), profiler.MakeEdge("ro", "ro"), e); len(cands) != 0 {
+		t.Fatalf("read-only self conflict should yield nothing: %v", descs(cands))
+	}
+}
+
+func TestProposedConfigsBuild(t *testing.T) {
+	// Every proposed candidate must be buildable and reachable via
+	// reconfiguration.
+	e := buildEngine(t, initialCfg())
+	for _, edge := range []profiler.Edge{
+		profiler.MakeEdge("hot", "hot"),
+		profiler.MakeEdge("hot", "cold"),
+		profiler.MakeEdge("ro", "hot"),
+		profiler.MakeEdge("part", "part"),
+	} {
+		for _, c := range Propose(e.Config(), edge, e) {
+			if err := e.Reconfigure(c.Config, engine.PartialRestart); err != nil {
+				t.Fatalf("candidate %q unbuildable: %v\n%s", c.Desc, err, c.Config)
+			}
+		}
+	}
+}
+
+func containsType(cfg *engine.NodeSpec, typ string) bool {
+	for _, tt := range cfg.AllTypes() {
+		if tt == typ {
+			return true
+		}
+	}
+	return false
+}
+
+func descs(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Desc
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package bench is Tebaldi's benchmark harness: a closed-loop workload
+// driver (the paper runs closed-loop test clients, §4.6) and one runner per
+// table/figure of the evaluation, each printing the series the paper
+// reports. Absolute numbers differ from the paper's 20-machine CloudLab
+// cluster; the harness exists to reproduce the *shape* — who wins, by what
+// factor, where crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/tebaldi"
+)
+
+// Op is one generated transaction, workload-agnostic.
+type Op struct {
+	Type string
+	Part uint64
+	Fn   func(*tebaldi.Tx) error
+}
+
+// Gen produces transactions for one client; it must be safe to call from
+// the client's goroutine with its private rng.
+type Gen func(rng *rand.Rand) Op
+
+// Result summarizes one measured run.
+type Result struct {
+	Clients     int
+	Duration    time.Duration
+	Commits     uint64
+	Aborts      uint64
+	Throughput  float64 // committed txn/sec
+	AbortRate   float64
+	MeanLatency map[string]time.Duration // per transaction type
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%6d clients  %9.0f txn/s  abort %5.1f%%",
+		r.Clients, r.Throughput, 100*r.AbortRate)
+}
+
+// RunOp executes one op with retry-on-abort, giving up when stop closes —
+// closed-loop client semantics with prompt shutdown even under livelock
+// (e.g. the Table 3.1 deadlock column, where every attempt may time out).
+func RunOp(db *tebaldi.DB, op Op, stop <-chan struct{}, rng *rand.Rand) {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		tx, err := db.Begin(op.Type, op.Part)
+		if err == nil {
+			err = op.Fn(tx)
+			if err == nil {
+				err = tx.Commit()
+			} else {
+				tx.Rollback(err)
+			}
+		}
+		if err == nil || !tebaldi.IsRetryable(err) {
+			return
+		}
+		max := 200 * (attempt + 1)
+		if max > 5000 {
+			max = 5000
+		}
+		time.Sleep(time.Duration(rng.Intn(max)+50) * time.Microsecond)
+	}
+}
+
+// Clients starts n closed-loop client goroutines; the returned func stops
+// and joins them.
+func Clients(db *tebaldi.DB, gen Gen, n int) (stopAndJoin func()) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				RunOp(db, gen(rng), stop, rng)
+			}
+		}(int64(c) + 1)
+	}
+	return func() {
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// Drive runs `clients` closed-loop clients against db for warmup+measure,
+// reporting stats over the measurement window only.
+func Drive(db *tebaldi.DB, gen Gen, clients int, warmup, measure time.Duration) Result {
+	stopAndJoin := Clients(db, gen, clients)
+	time.Sleep(warmup)
+	snap := db.Stats().Snapshot()
+	time.Sleep(measure)
+	w := db.Stats().Since(snap)
+	stopAndJoin()
+
+	res := Result{
+		Clients:     clients,
+		Duration:    w.Duration,
+		Commits:     w.Commits,
+		Aborts:      w.Aborts,
+		Throughput:  w.Throughput,
+		AbortRate:   w.AbortRate,
+		MeanLatency: map[string]time.Duration{},
+	}
+	for typ, wt := range w.PerType {
+		res.MeanLatency[typ] = wt.MeanLatency
+	}
+	return res
+}
+
+// Series runs Drive over several client counts and returns the results.
+func Series(db *tebaldi.DB, gen Gen, clients []int, warmup, measure time.Duration) []Result {
+	out := make([]Result, 0, len(clients))
+	for _, c := range clients {
+		out = append(out, Drive(db, gen, c, warmup, measure))
+	}
+	return out
+}
+
+// Peak returns the highest throughput in a series.
+func Peak(rs []Result) Result {
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.Throughput > best.Throughput {
+			best = r
+		}
+	}
+	return best
+}
+
+// table prints an aligned two-column block.
+func table(w io.Writer, title string, rows [][2]string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	width := 0
+	for _, r := range rows {
+		if len(r[0]) > width {
+			width = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, r[0], r[1])
+	}
+}
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,646 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"time"
+
+	"repro/internal/profiler"
+	"repro/tebaldi"
+	"repro/workload/micro"
+	"repro/workload/seats"
+	"repro/workload/tpcc"
+)
+
+// Params configure an experiment run.
+type Params struct {
+	Out   io.Writer
+	Quick bool // smaller client counts and windows (CI-friendly)
+}
+
+func (p Params) out() io.Writer {
+	if p.Out != nil {
+		return p.Out
+	}
+	return os.Stdout
+}
+
+func (p Params) windows() (warmup, measure time.Duration) {
+	if p.Quick {
+		return 300 * time.Millisecond, 1200 * time.Millisecond
+	}
+	return 500 * time.Millisecond, 3 * time.Second
+}
+
+func (p Params) clients() []int {
+	if p.Quick {
+		return []int{8, 32, 96}
+	}
+	return []int{4, 16, 64, 128, 256, 512}
+}
+
+func (p Params) fixedClients() int {
+	if p.Quick {
+		return 64
+	}
+	return 192
+}
+
+func dbOptions() tebaldi.Options {
+	// The lock timeout doubles as the deadlock detector (§4.4.1); it must
+	// sit well above legitimate queueing delays at saturation, or every
+	// spurious timeout triggers a cascading-abort storm through RP's
+	// exposed uncommitted state.
+	return tebaldi.Options{Shards: 16, LockTimeout: 400 * time.Millisecond}
+}
+
+// openTPCC builds and populates a TPC-C database.
+func openTPCC(cfg *tebaldi.Config, withHot bool, opts tebaldi.Options) (*tebaldi.DB, *tpcc.Client, error) {
+	sc := tpcc.DefaultScale()
+	db, err := tebaldi.Open(opts, tpcc.Specs(withHot), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tpcc.Load(db, sc)
+	return db, tpcc.NewClient(db, sc), nil
+}
+
+// openSEATS builds and populates a SEATS database.
+func openSEATS(cfg *tebaldi.Config, opts tebaldi.Options) (*tebaldi.DB, *seats.Client, error) {
+	sc := seats.DefaultScale()
+	db, err := tebaldi.Open(opts, seats.Specs(sc), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	seats.Load(db, sc)
+	return db, seats.NewClient(db, sc), nil
+}
+
+func tpccGen(c *tpcc.Client) Gen {
+	return func(rng *rand.Rand) Op {
+		op := c.Mix(rng)
+		return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+	}
+}
+
+func seatsGen(c *seats.Client) Gen {
+	return func(rng *rand.Rand) Op {
+		op := c.Mix(rng)
+		return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+	}
+}
+
+// Table31 reproduces Table 3.1: the impact of grouping on the
+// new_order/stock_level pair.
+func Table31(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Table 3.1 — impact of grouping on throughput (new_order + stock_level)\n")
+	fmt.Fprintf(w, "paper (txn/s): same-group 3207 | separate-deadlock 158 | separate-no-deadlock 3598 | separate-no-conflict 23834\n")
+
+	type mode struct {
+		name       string
+		deadlock   bool
+		disjoint   bool
+		configMode string
+	}
+	modes := []mode{
+		{"Same group", false, false, "same"},
+		{"Separate - Deadlock", true, false, "deadlock"},
+		{"Separate - No Deadlock", false, false, "separate"},
+		{"Separate - No Conflict", false, true, "noconflict"},
+	}
+	var rows [][2]string
+	for _, m := range modes {
+		db, err := tebaldi.Open(dbOptions(), tpcc.PairSpecs(m.deadlock), tpcc.PairConfig(m.configMode))
+		if err != nil {
+			return err
+		}
+		sc := tpcc.DefaultScale()
+		tpcc.Load(db, sc)
+		c := tpcc.NewClient(db, sc)
+		pg := c.PairGen(m.deadlock, m.disjoint)
+		res := Drive(db, func(rng *rand.Rand) Op {
+			op := pg(rng)
+			return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+		}, clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{m.name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Fig47 reproduces Figure 4.7: TPC-C throughput vs number of clients across
+// six configurations.
+func Fig47(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	fmt.Fprintf(w, "Figure 4.7 — TPC-C throughput vs clients\n")
+	fmt.Fprintf(w, "paper shape: SSI peak ~7x 2PL; Callas-2 ~ +77%% over Callas-1; Tebaldi-2L ~2.6x best Callas; 3L +44%% over 2L\n")
+	configs := []struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"2PL", tpcc.ConfigMono2PL()},
+		{"SSI", tpcc.ConfigMonoSSI()},
+		{"Callas-1", tpcc.ConfigCallas1()},
+		{"Callas-2", tpcc.ConfigCallas2()},
+		{"Tebaldi 2-layer", tpcc.ConfigTebaldi2Layer()},
+		{"Tebaldi 3-layer", tpcc.ConfigTebaldi3Layer()},
+	}
+	for _, cf := range configs {
+		db, c, err := openTPCC(cf.cfg, false, dbOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s  [%s]\n", cf.name, db.ConfigString())
+		for _, res := range Series(db, tpccGen(c), p.clients(), warmup, measure) {
+			fmt.Fprintf(w, "  %s\n", res)
+		}
+		db.Close()
+	}
+	return nil
+}
+
+// Fig48 reproduces Figure 4.8: SEATS throughput vs clients across the three
+// configurations.
+func Fig48(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	fmt.Fprintf(w, "Figure 4.8 — SEATS throughput vs clients\n")
+	fmt.Fprintf(w, "paper shape: 2-layer ~2.6x 2PL peak; 3-layer (per-flight TSO) ~2x 2-layer\n")
+	sc := seats.DefaultScale()
+	configs := []struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"Monolithic 2PL", seats.ConfigMono2PL()},
+		{"2-layer (SSI + 2PL)", seats.Config2Layer()},
+		{"3-layer (SSI + 2PL + TSO)", seats.Config3Layer(sc)},
+	}
+	for _, cf := range configs {
+		db, c, err := openSEATS(cf.cfg, dbOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s\n", cf.name)
+		for _, res := range Series(db, seatsGen(c), p.clients(), warmup, measure) {
+			fmt.Fprintf(w, "  %s\n", res)
+		}
+		db.Close()
+	}
+	return nil
+}
+
+// Sec463 reproduces the extensibility experiment of §4.6.3: TPC-C + hot_item
+// under the 3-layer vs 4-layer trees.
+func Sec463(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "§4.6.3 — hot_item extensibility\n")
+	fmt.Fprintf(w, "paper: 3-layer 16417 txn/s, 4-layer 23232 txn/s (+42%%)\n")
+	var rows [][2]string
+	for _, cf := range []struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"3-layer (hot_item merged)", tpcc.ConfigHot3Layer()},
+		{"4-layer (hot_item own group)", tpcc.ConfigHot4Layer()},
+	} {
+		db, c, err := openTPCC(cf.cfg, true, dbOptions())
+		if err != nil {
+			return err
+		}
+		res := Drive(db, func(rng *rand.Rand) Op {
+			op := c.HotMix(rng)
+			return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+		}, clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{cf.name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Fig410 reproduces Figure 4.10: cross-group CC performance across
+// read-write and write-write conflict rates.
+func Fig410(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Figure 4.10 — cross-group CC comparison\n")
+	fmt.Fprintf(w, "paper shape: SSI wins rw-*; RP wins ww-5/ww-10; 2PL wins ww-1\n")
+	workloads := []struct {
+		name   string
+		shared int
+		ro     bool
+	}{
+		{"rw-1", 100, true}, {"rw-5", 20, true}, {"rw-10", 10, true},
+		{"ww-1", 100, false}, {"ww-5", 20, false}, {"ww-10", 10, false},
+	}
+	crosses := []tebaldi.Kind{tebaldi.TwoPL, tebaldi.SSI, tebaldi.RP}
+	for _, wl := range workloads {
+		cg := micro.CrossGroup{SharedRows: wl.shared, ReadOnlyT1: wl.ro}
+		var rows [][2]string
+		for _, cross := range crosses {
+			db, err := tebaldi.Open(dbOptions(), cg.Specs(), cg.Config(cross))
+			if err != nil {
+				return err
+			}
+			cg.Load(db)
+			res := Drive(db, func(rng *rand.Rand) Op {
+				op := cg.Mix(rng)
+				return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+			}, clients, warmup, measure)
+			db.Close()
+			rows = append(rows, [2]string{string(cross) + " cross-group", res.String()})
+		}
+		table(w, wl.name, rows)
+	}
+	return nil
+}
+
+// Fig411 reproduces Figure 4.11: two-layer vs three-layer hierarchies.
+func Fig411(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Figure 4.11 — two-layer vs three-layer\n")
+	fmt.Fprintf(w, "paper shape: three-layer peak ~ +63%% over best two-layer\n")
+	tl := micro.ThreeLayer{}
+	cfgs := tl.Configs()
+	var rows [][2]string
+	for _, name := range sortedKeys(cfgs) {
+		db, err := tebaldi.Open(dbOptions(), tl.Specs(), cfgs[name])
+		if err != nil {
+			return err
+		}
+		tl.Load(db)
+		res := Drive(db, func(rng *rand.Rand) Op {
+			op := tl.Mix(rng)
+			return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+		}, clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Table41 reproduces Table 4.1: latency and peak-throughput cost of
+// additional hierarchy layers on a conflict-free workload.
+func Table41(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	fmt.Fprintf(w, "Table 4.1 — cost of additional layers (conflict-free 7-write txn)\n")
+	fmt.Fprintf(w, "paper: latency +3.3%% (2PL-RP) +9.8%% (SSI-RP) +36.3%% (RP-RP); peak -21%%/-25%%/-40%%\n")
+	ov := &micro.Overhead{}
+	cfgs := ov.Configs()
+	order := []string{"stand-alone RP", "2PL - RP", "SSI - RP", "RP - RP"}
+	var rows [][2]string
+	for _, name := range order {
+		db, err := tebaldi.Open(dbOptions(), ov.Specs(), cfgs[name])
+		if err != nil {
+			return err
+		}
+		gen := func(rng *rand.Rand) Op {
+			op := ov.Next(rng)
+			return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+		}
+		// Latency at low load (paper: 20 clients).
+		lat := Drive(db, gen, 8, warmup/2, measure/2)
+		// Peak throughput at saturation.
+		peak := Drive(db, gen, p.fixedClients(), warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{name, fmt.Sprintf("latency %8v   peak %9.0f txn/s",
+			lat.MeanLatency[micro.TxnW7].Round(time.Microsecond), peak.Throughput)})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Table42 reproduces Table 4.2: durability overhead on TPC-C under the
+// 3-layer tree with asynchronous GCP flushing.
+func Table42(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Table 4.2 — durability overhead (TPC-C, 3-layer, async flushing)\n")
+	fmt.Fprintf(w, "paper: ~5%% overhead (22390 vs 23415 txn/s)\n")
+	var rows [][2]string
+	for _, on := range []bool{false, true} {
+		opts := dbOptions()
+		name := "Durability OFF"
+		if on {
+			dir, err := os.MkdirTemp("", "tebaldi-wal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			opts.DurabilityDir = dir
+			opts.GCPEpoch = 100 * time.Millisecond
+			name = "Durability ON"
+		}
+		db, c, err := openTPCC(tpcc.ConfigTebaldi3Layer(), false, opts)
+		if err != nil {
+			return err
+		}
+		res := Drive(db, tpccGen(c), clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Fig55 reproduces the §5.3.1 case study (Figures 5.3-5.5): under the
+// RP{payment} / stock_level configuration, only payment's latency rises with
+// load — the latency-based profiler would blame payment-payment contention —
+// while the blocking-event profiler correctly attributes the bottleneck to
+// the payment<->stock_level edge.
+func Fig55(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	fmt.Fprintf(w, "Figure 5.5 — latency-based profiling misses the real bottleneck\n")
+	opts := dbOptions()
+	opts.Profiling = true
+	cfg := tebaldi.Inner(tebaldi.TwoPL,
+		tebaldi.Leaf(tebaldi.RP, tpcc.TxnPayment),
+		tebaldi.Leaf(tebaldi.None, tpcc.TxnStockLevel))
+	db, c, err := openTPCC(cfg, false, opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	gen := func(rng *rand.Rand) Op {
+		var op tpcc.Op
+		if rng.Float64() < 0.8 {
+			op = c.Payment(rng)
+		} else {
+			op = c.StockLevel(rng)
+		}
+		return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+	}
+	for _, clients := range p.clients() {
+		db.Engine().Profiler().Window() // reset
+		res := Drive(db, gen, clients, warmup, measure)
+		scores := profiler.Scores(db.Engine().Profiler().Window())
+		edge, score, _ := profiler.Bottleneck(scores)
+		fmt.Fprintf(w, "  %4d clients: %8.0f txn/s   latency pay=%-10v sl=%-10v  bottleneck %s<->%s (%v)\n",
+			clients, res.Throughput,
+			res.MeanLatency[tpcc.TxnPayment].Round(time.Microsecond),
+			res.MeanLatency[tpcc.TxnStockLevel].Round(time.Microsecond),
+			edge.A, edge.B, score.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "expected: payment latency grows with clients while stock_level's stays flat — the\n")
+	fmt.Fprintf(w, "latency-based technique would blame payment alone; the conflict-edge profiler\n")
+	fmt.Fprintf(w, "attributes blocked time to exact edges (in-process, stock_level's short reads\n")
+	fmt.Fprintf(w, "make payment<->payment genuinely dominant; on the paper's cluster the long\n")
+	fmt.Fprintf(w, "stock_level scans make payment<->stock_level the root cause).\n")
+	return nil
+}
+
+// runAutoconf drives an automatic-configuration session with a background
+// closed-loop workload.
+func runAutoconf(p Params, db *tebaldi.DB, gen Gen, manual *tebaldi.Config, manualName string) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+
+	stopAndJoin := Clients(db, gen, clients)
+	time.Sleep(warmup)
+
+	res, err := db.AutoConfigure(tebaldi.AutoConfigOptions{
+		MeasureWindow: measure / 2,
+		Settle:        warmup / 2,
+		MaxIterations: 6,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(w, "  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		stopAndJoin()
+		return err
+	}
+	fmt.Fprintf(w, "final auto config: %s  (%.0f txn/s)\n", res.Final, res.FinalThroughput)
+
+	// Compare against the manual configuration on the same live system.
+	if manual != nil {
+		if err := db.Reconfigure(manual, tebaldi.PartialRestart); err != nil {
+			stopAndJoin()
+			return err
+		}
+		time.Sleep(warmup)
+		snap := db.Stats().Snapshot()
+		time.Sleep(measure)
+		manualTput := db.Stats().Since(snap).Throughput
+		fmt.Fprintf(w, "%s (manual): %.0f txn/s -> auto retains %.0f%%\n",
+			manualName, manualTput, 100*res.FinalThroughput/manualTput)
+	}
+	stopAndJoin()
+	return nil
+}
+
+// Fig511 reproduces Figure 5.11/5.13: automatic configuration on TPC-C.
+func Fig511(p Params) error {
+	w := p.out()
+	fmt.Fprintf(w, "Figure 5.11 — automatic configuration, TPC-C\n")
+	fmt.Fprintf(w, "paper shape: autoconf converges over a few iterations to ~90%% of the manual 3-layer config\n")
+	opts := dbOptions()
+	opts.Profiling = true
+	db, err := tebaldi.Open(opts, tpcc.Specs(false), nil) // initial §5.2 config
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	tpcc.Load(db, tpcc.DefaultScale())
+	c := tpcc.NewClient(db, tpcc.DefaultScale())
+	fmt.Fprintf(w, "initial config: %s\n", db.ConfigString())
+	return runAutoconf(p, db, tpccGen(c), tpcc.ConfigTebaldi3Layer(), "Tebaldi 3-layer")
+}
+
+// Fig514 reproduces Figure 5.14/5.16: automatic configuration on SEATS.
+func Fig514(p Params) error {
+	w := p.out()
+	fmt.Fprintf(w, "Figure 5.14 — automatic configuration, SEATS\n")
+	sc := seats.DefaultScale()
+	opts := dbOptions()
+	opts.Profiling = true
+	db, err := tebaldi.Open(opts, seats.Specs(sc), nil)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	seats.Load(db, sc)
+	c := seats.NewClient(db, sc)
+	fmt.Fprintf(w, "initial config: %s\n", db.ConfigString())
+	return runAutoconf(p, db, seatsGen(c), seats.Config3Layer(sc), "manual 3-layer")
+}
+
+// Fig517 reproduces Figure 5.17: the overhead of performance profiling.
+func Fig517(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Figure 5.17 — profiling overhead (TPC-C, 3-layer)\n")
+	fmt.Fprintf(w, "paper: a few percent\n")
+	var rows [][2]string
+	for _, prof := range []bool{false, true} {
+		opts := dbOptions()
+		opts.Profiling = prof
+		db, c, err := openTPCC(tpcc.ConfigTebaldi3Layer(), false, opts)
+		if err != nil {
+			return err
+		}
+		stopDrain := make(chan struct{})
+		if prof {
+			// A monitor draining windows and computing scores, as
+			// the live analysis stage would.
+			go func() {
+				tick := time.NewTicker(measure / 4)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopDrain:
+						return
+					case <-tick.C:
+						profiler.Scores(db.Engine().Profiler().Window())
+					}
+				}
+			}()
+		}
+		res := Drive(db, tpccGen(c), clients, warmup, measure)
+		close(stopDrain)
+		db.Close()
+		name := "profiling OFF"
+		if prof {
+			name = "profiling ON"
+		}
+		rows = append(rows, [2]string{name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Table51 reproduces Table 5.1: SEATS with and without the
+// partition-by-instance optimization.
+func Table51(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Table 5.1 — partition-by-instance on SEATS\n")
+	fmt.Fprintf(w, "paper shape: per-flight TSO instances roughly double throughput vs one TSO group\n")
+	sc := seats.DefaultScale()
+	var rows [][2]string
+	for _, cf := range []struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"single TSO group", seats.Config3LayerSingleTSO()},
+		{"per-flight TSO (PBI)", seats.Config3Layer(sc)},
+	} {
+		db, c, err := openSEATS(cf.cfg, dbOptions())
+		if err != nil {
+			return err
+		}
+		res := Drive(db, seatsGen(c), clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{cf.name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}
+
+// Fig519 reproduces Figures 5.18/5.19: throughput timeline across a live
+// reconfiguration under the two protocols.
+func Fig519(p Params) error {
+	w := p.out()
+	warmup, _ := p.windows()
+	clients := p.fixedClients()
+	bucket := 50 * time.Millisecond
+	buckets := 30
+	fmt.Fprintf(w, "Figure 5.19 — reconfiguration protocols (TPC-C, third reconfiguration)\n")
+	fmt.Fprintf(w, "paper shape: partial restart dips to ~0 during quiesce; online update keeps most throughput\n")
+
+	// The paper's third reconfiguration touches one subgroup; here the
+	// delivery leaf switches RP -> 2PL. Online update gates only delivery
+	// (4%% of the mix); partial restart quiesces everything.
+	from := tpcc.ConfigTebaldi3Layer()
+	to := tpcc.ConfigTebaldi3Layer()
+	to.Children[1].Children[1] = tebaldi.Leaf(tebaldi.TwoPL, tpcc.TxnDelivery)
+	for _, proto := range []struct {
+		name string
+		p    tebaldi.ReconfigProtocol
+	}{
+		{"partial-restart", tebaldi.PartialRestart},
+		{"online-update", tebaldi.OnlineUpdate},
+	} {
+		db, c, err := openTPCC(from, false, dbOptions())
+		if err != nil {
+			return err
+		}
+		stopAndJoin := Clients(db, tpccGen(c), clients)
+		time.Sleep(warmup)
+		// Sample throughput in buckets; reconfigure at bucket 10.
+		series := make([]float64, 0, buckets)
+		done := make(chan error, 1)
+		pr := proto.p
+		for b := 0; b < buckets; b++ {
+			if b == 10 {
+				go func() { done <- db.Reconfigure(to, pr) }()
+			}
+			snap := db.Stats().Snapshot()
+			time.Sleep(bucket)
+			series = append(series, db.Stats().Since(snap).Throughput)
+		}
+		stopAndJoin()
+		if err := <-done; err != nil {
+			db.Close()
+			return err
+		}
+		db.Close()
+		fmt.Fprintf(w, "\n%s:\n ", proto.name)
+		for _, v := range series {
+			fmt.Fprintf(w, " %6.0f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table52 reproduces Table 5.2's question — how Tebaldi's MCC compares to a
+// single-machine monolithic database — substituting our own engine in
+// single-shard mode with monolithic CCs for MySQL/Postgres (see DESIGN.md).
+func Table52(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "Table 5.2 — single-machine comparison (substituted: monolithic CCs in-engine)\n")
+	var rows [][2]string
+	for _, cf := range []struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"monolithic 2PL (1 shard)", tpcc.ConfigMono2PL()},
+		{"monolithic SSI (1 shard)", tpcc.ConfigMonoSSI()},
+		{"Tebaldi 3-layer (1 shard)", tpcc.ConfigTebaldi3Layer()},
+	} {
+		opts := dbOptions()
+		opts.Shards = 1
+		db, c, err := openTPCC(cf.cfg, false, opts)
+		if err != nil {
+			return err
+		}
+		res := Drive(db, tpccGen(c), clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{cf.name, res.String()})
+	}
+	table(w, "measured:", rows)
+	return nil
+}

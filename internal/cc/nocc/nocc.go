@@ -1,0 +1,44 @@
+// Package nocc provides the empty concurrency control used for groups that
+// need no regulation — typically the read-only group of the initial
+// configuration (§5.2) and of the TPC-C / SEATS trees (§4.6): read-only
+// transactions never conflict with each other, so all their conflicts are
+// cross-group and handled by ancestors (usually SSI snapshots).
+package nocc
+
+import "repro/internal/core"
+
+// NoCC is a no-op concurrency control. As a leaf it proposes no read version
+// (ancestors decide); it never blocks or aborts.
+type NoCC struct{}
+
+// New returns the empty CC.
+func New() *NoCC { return &NoCC{} }
+
+// Name implements core.CC.
+func (n *NoCC) Name() string { return "NoCC" }
+
+// Begin implements core.CC.
+func (n *NoCC) Begin(*core.Txn) error { return nil }
+
+// PreRead implements core.CC.
+func (n *NoCC) PreRead(*core.Txn, core.Key) error { return nil }
+
+// PreWrite implements core.CC.
+func (n *NoCC) PreWrite(*core.Txn, core.Key) error { return nil }
+
+// AmendRead implements core.CC: the proposal passes through unchanged.
+func (n *NoCC) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.Version) (*core.Version, error) {
+	return proposal, nil
+}
+
+// PostWrite implements core.CC.
+func (n *NoCC) PostWrite(*core.Txn, core.Key, *core.Chain, *core.Version) error { return nil }
+
+// Validate implements core.CC.
+func (n *NoCC) Validate(*core.Txn) error { return nil }
+
+// Commit implements core.CC.
+func (n *NoCC) Commit(*core.Txn) {}
+
+// Abort implements core.CC.
+func (n *NoCC) Abort(*core.Txn) {}

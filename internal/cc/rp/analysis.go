@@ -1,0 +1,194 @@
+// Package rp implements Runtime Pipelining (§4.4.2, [Xie et al., Callas]),
+// the aggressive lock-based mechanism that chops transactions into pipeline
+// steps derived from a static analysis of their table access order.
+//
+// Static analysis (preprocessing, §5.4.2): build a directed graph whose
+// nodes are the tables accessed by the group's transaction types, with an
+// edge A -> B whenever some type accesses A before B. Strongly connected
+// components are condensed (tables in a cycle must share a step — the
+// "coarser pipeline" of §3.1) and topologically sorted; a table's step rank
+// is its SCC's topological position.
+//
+// Runtime: a transaction executes steps in rank order. Within a step,
+// operations are isolated by ordinary S/X locks. When a transaction advances
+// past a step it step-commits: its writes in that step become visible to
+// pipeline successors (still uncommitted!) and its step locks are released.
+// Once T2 depends on T1, T2 may execute step i only after T1 has finished
+// step i or terminated — enforced by per-transaction step counters.
+package rp
+
+import "sort"
+
+// Analysis is the result of Runtime Pipelining's static preprocessing.
+type Analysis struct {
+	// Rank maps each table to its pipeline step.
+	Rank map[string]int
+	// MaxRank is the largest step index.
+	MaxRank int
+	// Groups lists the tables of each step (diagnostics; the pipeline is
+	// "fine" when most steps hold one table).
+	Groups [][]string
+}
+
+// Analyze runs the static analysis over the table access orders of the
+// transaction types in a group. orders[i] is the i-th type's table access
+// sequence (repeats allowed; a revisit of an earlier table forces the tables
+// in between into one step).
+func Analyze(orders [][]string) *Analysis {
+	// Collect tables and adjacency from consecutive distinct accesses.
+	idx := map[string]int{}
+	var tables []string
+	add := func(t string) int {
+		if i, ok := idx[t]; ok {
+			return i
+		}
+		i := len(tables)
+		idx[t] = i
+		tables = append(tables, t)
+		return i
+	}
+	adj := map[int]map[int]bool{}
+	edge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[int]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, order := range orders {
+		prev := -1
+		for _, tbl := range order {
+			cur := add(tbl)
+			if prev >= 0 {
+				edge(prev, cur)
+			}
+			prev = cur
+		}
+	}
+
+	n := len(tables)
+	// Tarjan's strongly connected components, iterative-friendly sizes
+	// here (table counts are tiny), recursive implementation.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	ncomp := 0
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		// Deterministic neighbor order.
+		var ns []int
+		for w := range adj[v] {
+			ns = append(ns, w)
+		}
+		sort.Ints(ns)
+		for _, w := range ns {
+			if index[w] == unvisited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	// Deterministic root order: table name order.
+	rootOrder := make([]int, n)
+	for i := range rootOrder {
+		rootOrder[i] = i
+	}
+	sort.Slice(rootOrder, func(a, b int) bool { return tables[rootOrder[a]] < tables[rootOrder[b]] })
+	for _, v := range rootOrder {
+		if index[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+
+	// Condensation topological order. Tarjan emits SCCs in reverse
+	// topological order of the condensation, so rank = ncomp-1-comp in a
+	// DAG sense; verify with a Kahn pass for determinism instead.
+	cadj := map[int]map[int]bool{}
+	indeg := make([]int, ncomp)
+	for a, ns := range adj {
+		for b := range ns {
+			ca, cb := comp[a], comp[b]
+			if ca == cb {
+				continue
+			}
+			if cadj[ca] == nil {
+				cadj[ca] = map[int]bool{}
+			}
+			if !cadj[ca][cb] {
+				cadj[ca][cb] = true
+				indeg[cb]++
+			}
+		}
+	}
+	var frontier []int
+	for c := 0; c < ncomp; c++ {
+		if indeg[c] == 0 {
+			frontier = append(frontier, c)
+		}
+	}
+	sort.Ints(frontier)
+	rankOf := make([]int, ncomp)
+	next := 0
+	for len(frontier) > 0 {
+		c := frontier[0]
+		frontier = frontier[1:]
+		rankOf[c] = next
+		next++
+		var succ []int
+		for d := range cadj[c] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				succ = append(succ, d)
+			}
+		}
+		sort.Ints(succ)
+		frontier = append(frontier, succ...)
+	}
+
+	a := &Analysis{Rank: make(map[string]int, n)}
+	groups := make([][]string, next)
+	for i, tbl := range tables {
+		r := rankOf[comp[i]]
+		a.Rank[tbl] = r
+		groups[r] = append(groups[r], tbl)
+		if r > a.MaxRank {
+			a.MaxRank = r
+		}
+	}
+	for i := range groups {
+		sort.Strings(groups[i])
+	}
+	a.Groups = groups
+	return a
+}

@@ -1,0 +1,144 @@
+package rp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeChain(t *testing.T) {
+	a := Analyze([][]string{{"w", "d", "c", "o"}})
+	want := map[string]int{"w": 0, "d": 1, "c": 2, "o": 3}
+	if !reflect.DeepEqual(a.Rank, want) {
+		t.Fatalf("ranks %v", a.Rank)
+	}
+	if a.MaxRank != 3 {
+		t.Fatalf("max %d", a.MaxRank)
+	}
+}
+
+func TestAnalyzeCycleMergesIntoOneStep(t *testing.T) {
+	// s -> ol in one type, ol -> s in the other: SCC{s, ol}.
+	a := Analyze([][]string{
+		{"d", "s", "ol"},
+		{"d", "ol", "s"},
+	})
+	if a.Rank["s"] != a.Rank["ol"] {
+		t.Fatalf("cycle not merged: %v", a.Rank)
+	}
+	if a.Rank["d"] >= a.Rank["s"] {
+		t.Fatalf("d must precede the merged step: %v", a.Rank)
+	}
+}
+
+func TestAnalyzeRevisitMergesSpan(t *testing.T) {
+	// a -> b -> a revisit forces {a, b} together.
+	a := Analyze([][]string{{"a", "b", "a"}})
+	if a.Rank["a"] != a.Rank["b"] {
+		t.Fatalf("revisit not merged: %v", a.Rank)
+	}
+}
+
+func TestAnalyzeIndependentChainsGetDistinctRanks(t *testing.T) {
+	a := Analyze([][]string{{"a", "b"}, {"c", "d"}})
+	// Four tables, no cross edges: all four get individual ranks with
+	// a<b and c<d.
+	if !(a.Rank["a"] < a.Rank["b"] && a.Rank["c"] < a.Rank["d"]) {
+		t.Fatalf("order lost: %v", a.Rank)
+	}
+}
+
+func TestAnalyzeTPCCShape(t *testing.T) {
+	// The Figure 3.1 scenario: new_order and stock_level create a cycle
+	// between stock and order_line, coarsening the pipeline.
+	no := []string{"warehouse", "district", "customer", "order", "new_order", "item", "stock", "order_line"}
+	sl := []string{"district", "order", "order_line", "stock"}
+	a := Analyze([][]string{no, sl})
+	if a.Rank["stock"] != a.Rank["order_line"] {
+		t.Fatalf("expected stock/order_line SCC: %v", a.Rank)
+	}
+	if a.Rank["district"] >= a.Rank["order"] {
+		t.Fatalf("district must precede order: %v", a.Rank)
+	}
+	// Alone, new_order pipelines fully.
+	alone := Analyze([][]string{no})
+	if alone.MaxRank != len(no)-1 {
+		t.Fatalf("solo new_order pipeline coarse: %v", alone.Groups)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if len(a.Rank) != 0 || a.MaxRank != 0 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	orders := [][]string{
+		{"a", "b", "c"}, {"c", "a"}, {"d", "b"},
+	}
+	first := Analyze(orders)
+	for i := 0; i < 20; i++ {
+		if got := Analyze(orders); !reflect.DeepEqual(got.Rank, first.Rank) {
+			t.Fatalf("nondeterministic: %v vs %v", got.Rank, first.Rank)
+		}
+	}
+}
+
+// Property: every transaction's declared access order is monotone
+// non-decreasing in the computed ranks — the invariant the runtime pipeline
+// relies on (enterStep aborts on rank regression).
+func TestAnalyzeMonotoneProperty(t *testing.T) {
+	tables := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	f := func(seqs [][]byte) bool {
+		var orders [][]string
+		for _, seq := range seqs {
+			if len(seq) == 0 {
+				continue
+			}
+			if len(seq) > 8 {
+				seq = seq[:8]
+			}
+			var order []string
+			for _, b := range seq {
+				order = append(order, tables[int(b)%len(tables)])
+			}
+			orders = append(orders, order)
+		}
+		a := Analyze(orders)
+		for _, order := range orders {
+			cur := -1
+			for _, tbl := range order {
+				r := a.Rank[tbl]
+				if r < cur {
+					return false
+				}
+				cur = r
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ranks are a valid topological order of the SCC condensation —
+// table pairs in distinct components never both precede each other.
+func TestAnalyzeRanksContiguous(t *testing.T) {
+	a := Analyze([][]string{
+		{"a", "b", "c", "d"},
+		{"b", "e"},
+		{"e", "c"},
+	})
+	seen := map[int]bool{}
+	for _, r := range a.Rank {
+		seen[r] = true
+	}
+	for i := 0; i <= a.MaxRank; i++ {
+		if !seen[i] {
+			t.Fatalf("rank %d unused: %v", i, a.Rank)
+		}
+	}
+}

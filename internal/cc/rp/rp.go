@@ -1,0 +1,328 @@
+package rp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+)
+
+// RP is a Runtime Pipelining CC node. As a leaf it pipelines all
+// transactions of its group; as a non-leaf it pipelines across child
+// subtrees while exempting same-child pairs (the child regulates those).
+type RP struct {
+	env      *core.Env
+	node     *core.Node
+	locks    *lockmgr.Table
+	analysis *Analysis
+}
+
+// slot is the per-transaction pipeline state.
+type slot struct {
+	mu   sync.Mutex
+	cur  int32 // current step (atomic via Load/Store on curAtomic)
+	gen  chan struct{}
+	held map[core.Key]lockmgr.Mode
+	// written tracks versions installed in the current (not yet
+	// step-committed) step.
+	written []*core.Version
+
+	curAtomic atomic.Int32
+}
+
+// step returns the transaction's current pipeline step.
+func (s *slot) step() int { return int(s.curAtomic.Load()) }
+
+// exposeWrites marks the current step's writes step-committed. Must run
+// BEFORE the step's locks are released, or a successor could acquire the
+// lock and miss the write.
+func (s *slot) exposeWrites() {
+	s.mu.Lock()
+	for _, v := range s.written {
+		v.MarkStepCommitted()
+	}
+	s.written = s.written[:0]
+	s.mu.Unlock()
+}
+
+// advanceTo publishes the new step and wakes entry waiters.
+func (s *slot) advanceTo(r int) {
+	s.exposeWrites()
+	s.mu.Lock()
+	s.curAtomic.Store(int32(r))
+	old := s.gen
+	s.gen = make(chan struct{})
+	s.mu.Unlock()
+	close(old)
+}
+
+func (s *slot) waitCh() chan struct{} {
+	s.mu.Lock()
+	ch := s.gen
+	s.mu.Unlock()
+	return ch
+}
+
+// New creates a Runtime Pipelining mechanism for node, running its static
+// analysis over the access orders of the transaction types in node's
+// subtree.
+func New(env *core.Env, node *core.Node) *RP {
+	var orders [][]string
+	for _, typ := range node.SubtreeTypes() {
+		if sp := env.Specs[typ]; sp != nil {
+			orders = append(orders, sp.Tables)
+		}
+	}
+	var exempt func(a, b *core.Txn) bool
+	if len(node.Children) > 0 {
+		exempt = node.SameChild
+	}
+	return &RP{
+		env:      env,
+		node:     node,
+		locks:    lockmgr.New(env, exempt),
+		analysis: Analyze(orders),
+	}
+}
+
+// Name implements core.CC.
+func (r *RP) Name() string { return "RP" }
+
+// Pipeline exposes the analysis result (diagnostics, tests).
+func (r *RP) Pipeline() *Analysis { return r.analysis }
+
+// Begin implements core.CC.
+func (r *RP) Begin(t *core.Txn) error {
+	s := &slot{gen: make(chan struct{}), held: make(map[core.Key]lockmgr.Mode, 8)}
+	t.Slots[r.node.Depth] = s
+	return nil
+}
+
+func (r *RP) slotOf(t *core.Txn) *slot {
+	s, _ := t.Slots[r.node.Depth].(*slot)
+	return s
+}
+
+// enterStep advances t's pipeline to the step of table tbl: it step-commits
+// completed steps (exposing their writes, releasing their locks) and then
+// waits for every pipeline predecessor to have finished executing the target
+// step (§4.4.2).
+func (r *RP) enterStep(t *core.Txn, tbl string) error {
+	target, ok := r.analysis.Rank[tbl]
+	if !ok {
+		// Table unknown to the static analysis (type registered
+		// without it): treat as the current step.
+		return nil
+	}
+	s := r.slotOf(t)
+	if target < s.step() {
+		// The static analysis guarantees monotone ranks when the
+		// transaction follows its declared access order; a violation
+		// means the spec lied. Abort rather than risk isolation.
+		return core.ErrConflict
+	}
+	if target > s.step() {
+		// Step-commit everything below target: expose writes first,
+		// then release step locks so successors may proceed.
+		s.exposeWrites()
+		s.mu.Lock()
+		held := make([]core.Key, 0, len(s.held))
+		for k := range s.held {
+			held = append(held, k)
+		}
+		s.mu.Unlock()
+		for _, k := range held {
+			if kr := r.analysis.Rank[k.Table]; kr < target {
+				r.locks.Release(t, k)
+				s.mu.Lock()
+				delete(s.held, k)
+				s.mu.Unlock()
+			}
+		}
+		s.advanceTo(target)
+	}
+
+	// Pipeline ordering: every in-subtree dependency must have finished
+	// executing this step (advanced past it or terminated).
+	deadline := time.Now().Add(r.env.LockTimeout)
+	for {
+		blocked := r.firstBlockingDep(t, target)
+		if blocked == nil {
+			return nil
+		}
+		ds := r.slotOf(blocked)
+		if ds == nil {
+			return nil
+		}
+		ch := ds.waitCh()
+		// Re-check under the fresh channel to avoid lost wakeups.
+		if blocked.Finished() || ds.step() > target {
+			continue
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return core.ErrTimeout
+		}
+		start := time.Now()
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-blocked.Done():
+			timer.Stop()
+		case <-timer.C:
+			r.env.Report(t, blocked, start, time.Now())
+			return core.ErrTimeout
+		}
+		r.env.Report(t, blocked, start, time.Now())
+	}
+}
+
+// firstBlockingDep returns a dependency of t, managed by this node, that has
+// not yet finished executing step target.
+func (r *RP) firstBlockingDep(t *core.Txn, target int) *core.Txn {
+	for _, d := range t.Deps() {
+		if d.T.Finished() || !r.node.InSubtree(d.T) {
+			continue
+		}
+		ds := r.slotOf(d.T)
+		if ds == nil {
+			continue
+		}
+		if ds.step() <= target {
+			return d.T
+		}
+	}
+	return nil
+}
+
+// PreRead implements core.CC: enter the table's step, then take an intra-step
+// shared lock.
+func (r *RP) PreRead(t *core.Txn, k core.Key) error {
+	if err := r.enterStep(t, k.Table); err != nil {
+		return err
+	}
+	return r.acquire(t, k, lockmgr.Shared)
+}
+
+// PreWrite implements core.CC: enter the table's step, then take an
+// intra-step exclusive lock.
+func (r *RP) PreWrite(t *core.Txn, k core.Key) error {
+	if err := r.enterStep(t, k.Table); err != nil {
+		return err
+	}
+	return r.acquire(t, k, lockmgr.Exclusive)
+}
+
+func (r *RP) acquire(t *core.Txn, k core.Key, m lockmgr.Mode) error {
+	s := r.slotOf(t)
+	s.mu.Lock()
+	held, ok := s.held[k]
+	s.mu.Unlock()
+	if ok && (held == lockmgr.Exclusive || held == m) {
+		return nil
+	}
+	if err := r.locks.Acquire(t, k, m); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.held[k] = m
+	s.mu.Unlock()
+	return nil
+}
+
+// AmendRead implements core.CC. RP accepts the child's proposal if it is a
+// not-yet-step-committed write from the reader's own child subtree;
+// otherwise it returns the latest step-committed (or fully committed) value
+// written in this node's subtree, exposing pipeline predecessors'
+// uncommitted state. If the subtree never wrote the key the proposal (or
+// nil) passes through for ancestors to amend.
+func (r *RP) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.Version) (*core.Version, error) {
+	if proposal != nil && proposal.Pending() && !proposal.StepCommitted() &&
+		r.node.SameChild(t, proposal.Writer) {
+		return proposal, nil
+	}
+	// Candidates: committed history from anywhere (a committed version is
+	// just data — but same-child versions stay the child's choice), plus
+	// step-committed pending writes from this subtree. A step-committed
+	// pending write supersedes all committed versions: it will commit
+	// after them. Install order equals pipeline order for writes this
+	// node regulates (the step X lock serializes them), so the last
+	// eligible pending version is the latest.
+	var bestCommitted, bestPending *core.Version
+	if proposal != nil && proposal.Committed() {
+		bestCommitted = proposal
+	}
+	for _, v := range ch.Versions() {
+		if v.Writer == t || v.Promise || r.node.SameChild(t, v.Writer) {
+			continue
+		}
+		switch {
+		case v.Committed():
+			if bestCommitted == nil || v.CommitTS() > bestCommitted.CommitTS() {
+				bestCommitted = v
+			}
+		case v.Pending() && v.StepCommitted() && r.node.InSubtree(v.Writer):
+			bestPending = v
+		}
+	}
+	if bestPending != nil {
+		return bestPending, nil
+	}
+	if bestCommitted != nil {
+		return bestCommitted, nil
+	}
+	return proposal, nil
+}
+
+// PostWrite implements core.CC: remember the version for step-commit
+// exposure and record write-write ordering on pending in-subtree versions.
+func (r *RP) PostWrite(t *core.Txn, k core.Key, ch *core.Chain, v *core.Version) error {
+	s := r.slotOf(t)
+	s.mu.Lock()
+	s.written = append(s.written, v)
+	s.mu.Unlock()
+	for _, old := range ch.Versions() {
+		if old == v || old.Writer == t || !old.Pending() {
+			continue
+		}
+		if r.node.InSubtree(old.Writer) {
+			if err := t.AddDep(old.Writer, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate implements core.CC: RP delays commit until the dependency set has
+// committed, which the engine's consistent-ordering wait performs.
+func (r *RP) Validate(t *core.Txn) error { return nil }
+
+// Commit implements core.CC: release remaining locks and wake step waiters.
+func (r *RP) Commit(t *core.Txn) { r.finish(t) }
+
+// Abort implements core.CC. Aborting a transaction that already exposed
+// step-committed writes cascades to readers via the engine's read-from
+// dependency tracking.
+func (r *RP) Abort(t *core.Txn) { r.finish(t) }
+
+func (r *RP) finish(t *core.Txn) {
+	s := r.slotOf(t)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	keys := make([]core.Key, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	s.held = map[core.Key]lockmgr.Mode{}
+	s.mu.Unlock()
+	for _, k := range keys {
+		r.locks.Release(t, k)
+	}
+	s.advanceTo(r.analysis.MaxRank + 1)
+}

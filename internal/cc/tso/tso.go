@@ -1,0 +1,341 @@
+// Package tso implements multiversioned timestamp ordering (§4.4.4).
+//
+// Every transaction receives a timestamp at start; the serialization order
+// IS timestamp order. A read returns the latest version with a smaller
+// timestamp — including uncommitted versions from other groups (TSO
+// pipelines by exposing uncommitted writes). A writer aborts if a reader
+// with a larger timestamp already read the version it would supersede
+// (read-timestamp rule). To prevent aborted reads, readers of uncommitted
+// versions record write-read dependencies and commit only after those
+// commit (the engine's dependency wait).
+//
+// Promises (Faleiro-style early write visibility): a transaction may declare
+// at start time the keys it will write; readers that select the promised
+// version block until the value arrives instead of eventually aborting the
+// writer.
+//
+// As a non-leaf, TSO preserves consistent ordering by batching: transactions
+// of the same child share a timestamp, their in-batch order is delegated to
+// the child, and batches commit in timestamp order. As in the paper, TSO is
+// most efficient as a leaf (no batching needed) — e.g. one TSO instance per
+// SEATS flight under a 2PL cross-group parent.
+package tso
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultBatchSize bounds a non-leaf batch.
+const DefaultBatchSize = 64
+
+// DefaultBatchAge rotates a non-leaf batch after this duration.
+const DefaultBatchAge = 2 * time.Millisecond
+
+type batch struct {
+	ts      uint64
+	joined  int // total transactions ever assigned (size limit)
+	active  int // not-yet-finished transactions
+	created time.Time
+	drained chan struct{}
+}
+
+// TSO is a multiversion timestamp ordering CC node.
+type TSO struct {
+	env       *core.Env
+	node      *core.Node
+	batchSize int
+	batchAge  time.Duration
+
+	mu      sync.Mutex
+	current map[*core.Node]*batch
+	// order is the live batch list in ascending timestamp order, used to
+	// commit batches in timestamp order.
+	order []*batch
+}
+
+type slot struct {
+	ts    uint64
+	batch *batch // nil at leaves
+	// promises are placeholder versions installed at start; unfulfilled
+	// ones are removed at finish.
+	promises []promiseRef
+}
+
+type promiseRef struct {
+	ch *core.Chain
+	v  *core.Version
+}
+
+// Options tune a TSO node.
+type Options struct {
+	BatchSize int
+	BatchAge  time.Duration
+}
+
+// New creates a TSO mechanism for node.
+func New(env *core.Env, node *core.Node, opt Options) *TSO {
+	t := &TSO{
+		env:       env,
+		node:      node,
+		batchSize: opt.BatchSize,
+		batchAge:  opt.BatchAge,
+		current:   make(map[*core.Node]*batch),
+	}
+	if t.batchSize <= 0 {
+		t.batchSize = DefaultBatchSize
+	}
+	if t.batchAge <= 0 {
+		t.batchAge = DefaultBatchAge
+	}
+	return t
+}
+
+// Name implements core.CC.
+func (o *TSO) Name() string { return "TSO" }
+
+func (o *TSO) slotOf(t *core.Txn) *slot {
+	if len(t.Slots) <= o.node.Depth {
+		return nil
+	}
+	s, _ := t.Slots[o.node.Depth].(*slot)
+	return s
+}
+
+func (o *TSO) sameGroup(t, w *core.Txn) bool {
+	st, sw := o.slotOf(t), o.slotOf(w)
+	if st == nil || sw == nil {
+		return false
+	}
+	return st.batch != nil && st.batch == sw.batch
+}
+
+// Begin implements core.CC: assign the TSO timestamp — per transaction at a
+// leaf, per same-child batch otherwise.
+func (o *TSO) Begin(t *core.Txn) error {
+	s := &slot{}
+	if len(o.node.Children) == 0 {
+		s.ts = t.BeginTS
+	} else {
+		child := o.node.ChildFor(t)
+		o.mu.Lock()
+		b := o.current[child]
+		if b == nil || b.joined >= o.batchSize || time.Since(b.created) > o.batchAge {
+			b = &batch{ts: o.env.Oracle.Next(), created: time.Now(), drained: make(chan struct{})}
+			o.current[child] = b
+			o.order = append(o.order, b)
+		}
+		b.joined++
+		b.active++
+		o.mu.Unlock()
+		s.batch = b
+		s.ts = b.ts
+	}
+	t.Slots[o.node.Depth] = s
+	return nil
+}
+
+// Promise installs a placeholder version for a key the transaction declared
+// it will write, so readers wait instead of aborting the writer. Called by
+// the engine with the chain locked.
+func (o *TSO) Promise(t *core.Txn, ch *core.Chain) {
+	s := o.slotOf(t)
+	v := ch.InstallPromise(t, s.ts)
+	s.promises = append(s.promises, promiseRef{ch: ch, v: v})
+}
+
+// PreRead implements core.CC: TSO never blocks before reading; waiting for
+// promised values is signalled from AmendRead.
+func (o *TSO) PreRead(t *core.Txn, k core.Key) error { return nil }
+
+// PreWrite implements core.CC.
+func (o *TSO) PreWrite(t *core.Txn, k core.Key) error { return nil }
+
+// orderTS is the position of a version in TSO's serialization order:
+// its TSO timestamp for versions written in this node's subtree, its commit
+// timestamp for (committed) cross-group versions. Both come from the global
+// oracle, so they are comparable. Returns 0 for versions TSO must ignore
+// (pending cross-subtree writes — an ancestor's business).
+func (o *TSO) orderTS(v *core.Version) uint64 {
+	if o.node.InSubtree(v.Writer) && v.TS != 0 {
+		return v.TS
+	}
+	if v.Committed() {
+		return v.CommitTS()
+	}
+	return 0
+}
+
+// AmendRead implements core.CC: accept a same-batch proposal, else return
+// the version with the largest order timestamp below the reader's, blocking
+// on unfulfilled promises (via core.WaitFor).
+func (o *TSO) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.Version) (*core.Version, error) {
+	s := o.slotOf(t)
+	if proposal != nil && o.sameGroup(t, proposal.Writer) {
+		return proposal, nil
+	}
+	var best *core.Version
+	var bestTS uint64
+	consider := func(v *core.Version) {
+		if v == nil || v.Writer == t {
+			return
+		}
+		ts := o.orderTS(v)
+		if ts == 0 || ts >= s.ts {
+			return
+		}
+		if best == nil || ts > bestTS {
+			best, bestTS = v, ts
+		}
+	}
+	consider(proposal)
+	for _, v := range ch.Versions() {
+		if o.sameGroup(t, v.Writer) {
+			continue
+		}
+		consider(v)
+	}
+	if best == nil {
+		return nil, nil
+	}
+	if best.Promise {
+		return nil, &core.WaitFor{V: best}
+	}
+	// Read-timestamp maintenance: a later writer slotting in between
+	// best and us would invalidate this read.
+	if best.RTS < s.ts {
+		best.RTS = s.ts
+	}
+	return best, nil
+}
+
+// PostWrite implements core.CC: stamp the version with the writer's TSO
+// timestamp, apply the read-timestamp rule (abort if a larger-timestamped
+// reader already read the version this write supersedes), and record
+// write-write ordering on smaller-timestamped pending versions.
+func (o *TSO) PostWrite(t *core.Txn, k core.Key, ch *core.Chain, v *core.Version) error {
+	s := o.slotOf(t)
+	if v.TS == 0 {
+		v.TS = s.ts
+	}
+	var pred *core.Version
+	var predTS uint64
+	for _, old := range ch.Versions() {
+		if old == v || old.Writer == t || o.sameGroup(t, old.Writer) {
+			continue
+		}
+		ts := o.orderTS(old)
+		if ts == 0 {
+			continue
+		}
+		if ts < v.TS {
+			if pred == nil || ts > predTS {
+				pred, predTS = old, ts
+			}
+			if old.Pending() && o.node.InSubtree(old.Writer) {
+				// Smaller-timestamped pending write precedes us.
+				if err := t.AddDep(old.Writer, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if pred != nil && pred.RTS > v.TS {
+		// A reader with a larger timestamp read pred and missed this
+		// write: the write arrives too late.
+		return core.ErrConflict
+	}
+	return nil
+}
+
+// SnapshotLowerBound reports the oldest batch timestamp still live at this
+// node (non-leaf batching), bounding what GC may discard.
+func (o *TSO) SnapshotLowerBound() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.order) > 0 && o.order[0].active == 0 {
+		o.order = o.order[1:]
+	}
+	if len(o.order) == 0 {
+		return ^uint64(0)
+	}
+	return o.order[0].ts
+}
+
+// Validate implements core.CC: at a non-leaf, commit batches in timestamp
+// order — wait until every earlier batch has drained.
+func (o *TSO) Validate(t *core.Txn) error {
+	s := o.slotOf(t)
+	if s.batch == nil {
+		return nil
+	}
+	deadline := time.Now().Add(o.env.LockTimeout)
+	for {
+		var waitOn *batch
+		o.mu.Lock()
+		// Prune drained batches from the head.
+		for len(o.order) > 0 && o.order[0].active == 0 {
+			o.order = o.order[1:]
+		}
+		for _, b := range o.order {
+			if b.ts >= s.batch.ts {
+				break
+			}
+			if b.active > 0 {
+				waitOn = b
+				break
+			}
+		}
+		o.mu.Unlock()
+		if waitOn == nil {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return core.ErrTimeout
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-waitOn.drained:
+			timer.Stop()
+		case <-timer.C:
+			return core.ErrTimeout
+		}
+	}
+}
+
+// Commit implements core.CC.
+func (o *TSO) Commit(t *core.Txn) { o.finish(t) }
+
+// Abort implements core.CC.
+func (o *TSO) Abort(t *core.Txn) { o.finish(t) }
+
+func (o *TSO) finish(t *core.Txn) {
+	s := o.slotOf(t)
+	if s == nil {
+		return
+	}
+	// Remove unfulfilled promises (a fulfilled promise became an ordinary
+	// write tracked by the engine).
+	for _, p := range s.promises {
+		p.ch.Lock()
+		if p.v.Promise {
+			p.ch.Remove(p.v)
+		}
+		p.ch.Unlock()
+	}
+	s.promises = nil
+	if s.batch != nil {
+		o.mu.Lock()
+		s.batch.active--
+		if s.batch.active == 0 {
+			close(s.batch.drained)
+			if o.current[o.node.ChildFor(t)] == s.batch {
+				delete(o.current, o.node.ChildFor(t))
+			}
+		}
+		o.mu.Unlock()
+	}
+}

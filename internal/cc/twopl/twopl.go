@@ -1,0 +1,141 @@
+// Package twopl implements two-phase locking (§4.4.1), Tebaldi's most
+// general CC mechanism.
+//
+// As a leaf, this is textbook strict 2PL: shared locks for reads, exclusive
+// locks for writes, all held until commit/abort; deadlocks resolve by
+// timeout.
+//
+// As a non-leaf it becomes the nexus-lock mechanism of Callas (§3.3.2):
+// transactions delegated to the same child never conflict on a lock — their
+// conflicts are the child's responsibility — and the Nexus Lock Release
+// Order (release only after in-group dependencies commit) is enforced by the
+// engine's consistent-ordering commit wait, since locks are released in the
+// Commit phase which runs only after the transaction's recorded dependencies
+// have committed.
+package twopl
+
+import (
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+)
+
+// TwoPL is a two-phase locking CC node.
+type TwoPL struct {
+	env   *core.Env
+	node  *core.Node
+	locks *lockmgr.Table
+}
+
+type slot struct {
+	held map[core.Key]lockmgr.Mode
+}
+
+// New creates a 2PL mechanism for node. For non-leaf nodes the lock table
+// exempts same-child pairs (nexus semantics).
+func New(env *core.Env, node *core.Node) *TwoPL {
+	p := &TwoPL{env: env, node: node}
+	var exempt func(a, b *core.Txn) bool
+	if len(node.Children) > 0 {
+		exempt = node.SameChild
+	}
+	p.locks = lockmgr.New(env, exempt)
+	return p
+}
+
+// Name implements core.CC.
+func (p *TwoPL) Name() string { return "2PL" }
+
+// Begin implements core.CC.
+func (p *TwoPL) Begin(t *core.Txn) error {
+	t.Slots[p.node.Depth] = &slot{held: make(map[core.Key]lockmgr.Mode, 8)}
+	return nil
+}
+
+func (p *TwoPL) slotOf(t *core.Txn) *slot {
+	s, _ := t.Slots[p.node.Depth].(*slot)
+	return s
+}
+
+func (p *TwoPL) acquire(t *core.Txn, k core.Key, m lockmgr.Mode) error {
+	s := p.slotOf(t)
+	if held, ok := s.held[k]; ok && (held == lockmgr.Exclusive || held == m) {
+		return nil
+	}
+	if err := p.locks.Acquire(t, k, m); err != nil {
+		return err
+	}
+	s.held[k] = m
+	return nil
+}
+
+// PreRead implements core.CC: acquire a shared lock, held to commit.
+func (p *TwoPL) PreRead(t *core.Txn, k core.Key) error {
+	return p.acquire(t, k, lockmgr.Shared)
+}
+
+// PreWrite implements core.CC: acquire an exclusive lock, held to commit.
+func (p *TwoPL) PreWrite(t *core.Txn, k core.Key) error {
+	return p.acquire(t, k, lockmgr.Exclusive)
+}
+
+// AmendRead implements core.CC. 2PL accepts the child's proposal if it is an
+// uncommitted value from the reader's own child subtree (delegated conflict);
+// otherwise it returns the latest committed version — correct because the
+// shared lock guarantees no conflicting non-exempt writer is active.
+func (p *TwoPL) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.Version) (*core.Version, error) {
+	if proposal != nil && proposal.Pending() && p.node.SameChild(t, proposal.Writer) {
+		return proposal, nil
+	}
+	// Choose the latest committed version among those this node (or a
+	// descendant) regulates, or keep a newer committed proposal.
+	best := proposal
+	if best != nil && best.Pending() {
+		// A pending proposal from a non-same-child subtree cannot
+		// exist under our lock; defensively fall back to committed.
+		best = nil
+	}
+	if lc := ch.LatestCommitted(); lc != nil {
+		if best == nil || lc.CommitTS() >= best.CommitTS() {
+			best = lc
+		}
+	}
+	return best, nil
+}
+
+// PostWrite implements core.CC: record write-write ordering dependencies on
+// pending same-child versions of the key (their writers must commit first;
+// the exclusive lock already excludes non-exempt pending writers).
+func (p *TwoPL) PostWrite(t *core.Txn, k core.Key, ch *core.Chain, v *core.Version) error {
+	for _, old := range ch.Versions() {
+		if old == v || old.Writer == t || !old.Pending() {
+			continue
+		}
+		if p.node.InSubtree(old.Writer) {
+			if err := t.AddDep(old.Writer, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate implements core.CC: trivial for 2PL — holding all locks suffices.
+func (p *TwoPL) Validate(t *core.Txn) error { return nil }
+
+// Commit implements core.CC: release all locks. The engine has already
+// waited for the transaction's dependency set (nexus release order).
+func (p *TwoPL) Commit(t *core.Txn) { p.releaseAll(t) }
+
+// Abort implements core.CC.
+func (p *TwoPL) Abort(t *core.Txn) { p.releaseAll(t) }
+
+func (p *TwoPL) releaseAll(t *core.Txn) {
+	s := p.slotOf(t)
+	if s == nil {
+		return
+	}
+	for k := range s.held {
+		p.locks.Release(t, k)
+	}
+	s.held = nil
+}

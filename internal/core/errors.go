@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAborted is the root of every transaction-abort error. All abort reasons
+// wrap it, so callers can test errors.Is(err, core.ErrAborted).
+var ErrAborted = errors.New("transaction aborted")
+
+// Abort reasons. Each wraps ErrAborted; all are retryable by re-running the
+// transaction (Tebaldi's client layer retries automatically).
+var (
+	// ErrConflict is a generic CC-level conflict abort (e.g. SSI
+	// first-updater-wins, TSO read-timestamp violation).
+	ErrConflict = fmt.Errorf("%w: data conflict", ErrAborted)
+
+	// ErrTimeout indicates a lock or dependency wait exceeded its deadline.
+	// Tebaldi resolves deadlocks by timing transactions out (§4.4.1).
+	ErrTimeout = fmt.Errorf("%w: wait timed out (possible deadlock)", ErrAborted)
+
+	// ErrCascade indicates the transaction observed an uncommitted value
+	// whose writer later aborted, so it must abort too (cascading abort).
+	ErrCascade = fmt.Errorf("%w: cascading abort (read-from writer aborted)", ErrAborted)
+
+	// ErrPivot indicates SSI detected a dangerous structure (pivot batch)
+	// and chose this transaction as the victim.
+	ErrPivot = fmt.Errorf("%w: SSI pivot (dangerous structure)", ErrAborted)
+
+	// ErrReconfiguring indicates the transaction was admitted or force-
+	// aborted while the MCC configuration was being switched.
+	ErrReconfiguring = fmt.Errorf("%w: concurrency control reconfiguration in progress", ErrAborted)
+
+	// ErrUserAbort is returned when the application's transaction function
+	// requested an abort; it is NOT retried.
+	ErrUserAbort = errors.New("user abort")
+)
+
+// IsRetryable reports whether err is a system-initiated abort that the client
+// layer should retry.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrAborted) && !errors.Is(err, ErrUserAbort)
+}
+
+// WaitFor is returned from CC.AmendRead when the chosen version is a promise
+// whose value has not been written yet (TSO promises, §4.4.4). The engine
+// releases the chain mutex, waits for V.Ready(), and retries the read.
+type WaitFor struct{ V *Version }
+
+// Error implements error.
+func (w *WaitFor) Error() string { return "read must wait for a promised write" }

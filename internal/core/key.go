@@ -1,0 +1,39 @@
+// Package core defines the foundational types of the Tebaldi transactional
+// key-value store: keys, transactions, multiversioned value chains, the
+// concurrency-control (CC) tree, and the CC mechanism interface that every
+// federated protocol implements.
+//
+// The package deliberately contains no policy: concrete CC mechanisms live in
+// internal/cc/*, and the four-phase / two-pass execution protocol that drives
+// them lives in internal/engine.
+package core
+
+import "fmt"
+
+// Key identifies a row in a table. Tebaldi is a transactional key-value store
+// with a thin table veneer: the table name participates in Runtime
+// Pipelining's static analysis (tables are the unit of step ordering), while
+// (Table, Row) together address one multiversioned value chain.
+type Key struct {
+	Table string
+	Row   string
+}
+
+// String renders the key as "table/row".
+func (k Key) String() string { return k.Table + "/" + k.Row }
+
+// K is a convenience constructor for Key.
+func K(table, row string) Key { return Key{Table: table, Row: row} }
+
+// KeyOf builds a row key from integer components, the common case for the
+// TPC-C and SEATS workloads (e.g. KeyOf("district", 3, 7) -> "district/3.7").
+func KeyOf(table string, parts ...int) Key {
+	row := ""
+	for i, p := range parts {
+		if i > 0 {
+			row += "."
+		}
+		row += fmt.Sprint(p)
+	}
+	return Key{Table: table, Row: row}
+}

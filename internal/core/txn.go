@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TxnState is the lifecycle state of a transaction.
+type TxnState int32
+
+const (
+	// Active: the transaction is executing or validating.
+	Active TxnState = iota
+	// Committed: the transaction committed; its versions are durable in the
+	// multiversion store and carry its commit timestamp.
+	Committed
+	// Aborted: the transaction aborted; its versions have been removed.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s TxnState) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Dep is a direct dependency edge recorded during execution: the owning
+// transaction is ordered after T. Read marks a read-from dependency on an
+// uncommitted version (which cascades aborts); otherwise the edge is a pure
+// ordering (ww / rw / lock-order) dependency.
+type Dep struct {
+	T    *Txn
+	Read bool
+}
+
+// WriteRef remembers an uncommitted version installed by a transaction so the
+// engine can finalize or remove it at commit/abort.
+type WriteRef struct {
+	Chain *Chain
+	V     *Version
+}
+
+// Txn is one executing transaction. A transaction is pinned at begin time to
+// a path of CC-tree nodes (root..leaf); every node on the path participates
+// in each of the four protocol phases. Per-node protocol state lives in
+// Slots, indexed by the node's depth.
+type Txn struct {
+	// ID is unique per engine instance.
+	ID uint64
+	// Type is the static transaction type (e.g. "new_order"); grouping is
+	// by type, optionally refined by instance (Part).
+	Type string
+	// Part is the instance-partition input (e.g. SEATS flight id), used by
+	// partition-by-instance nodes to route among cloned children.
+	Part uint64
+	// BeginTS is drawn from the global timestamp oracle at begin. It is
+	// the SSI/TSO start timestamp and the GC watermark contribution.
+	BeginTS uint64
+	// Path is the root..leaf chain of CC nodes responsible for this
+	// transaction. Fixed at begin.
+	Path []*Node
+	// Slots holds per-node CC protocol state, indexed by node depth.
+	Slots []any
+	// Start is the wall-clock begin time (profiling and latency stats).
+	Start time.Time
+	// Epoch is the reconfiguration epoch the transaction was admitted in.
+	Epoch uint64
+
+	state    atomic.Int32
+	commitTS atomic.Uint64
+	done     chan struct{}
+
+	mu     sync.Mutex
+	deps   map[uint64]Dep
+	writes []WriteRef
+}
+
+// NewTxn constructs an Active transaction. The engine fills in Path/Slots.
+func NewTxn(id uint64, typ string, part uint64, beginTS uint64) *Txn {
+	return &Txn{
+		ID:      id,
+		Type:    typ,
+		Part:    part,
+		BeginTS: beginTS,
+		Start:   time.Now(),
+		done:    make(chan struct{}),
+		deps:    make(map[uint64]Dep, 8),
+	}
+}
+
+// State returns the transaction's current lifecycle state.
+func (t *Txn) State() TxnState { return TxnState(t.state.Load()) }
+
+// CommitTS returns the commit timestamp, or 0 if not committed.
+func (t *Txn) CommitTS() uint64 { return t.commitTS.Load() }
+
+// Done returns a channel closed when the transaction commits or aborts.
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// Finished reports whether the transaction has committed or aborted.
+func (t *Txn) Finished() bool { return t.State() != Active }
+
+// MarkCommittedNext draws the commit timestamp from the oracle and publishes
+// it in one breath, minimizing the window in which a reader's snapshot can
+// postdate the timestamp while the version still looks pending (see SSI's
+// committing-version wait).
+func (t *Txn) MarkCommittedNext(o Oracle) (uint64, bool) {
+	ts := o.Next()
+	t.commitTS.Store(ts)
+	if !t.state.CompareAndSwap(int32(Active), int32(Committed)) {
+		t.commitTS.Store(0)
+		return 0, false
+	}
+	close(t.done)
+	return ts, true
+}
+
+// MarkCommitted transitions Active -> Committed with the given commit
+// timestamp and wakes all waiters. It reports false if the transaction was
+// already finished (e.g. force-aborted concurrently).
+func (t *Txn) MarkCommitted(ts uint64) bool {
+	// The timestamp must be visible before the state flips: readers check
+	// State() first and then read CommitTS.
+	t.commitTS.Store(ts)
+	if !t.state.CompareAndSwap(int32(Active), int32(Committed)) {
+		t.commitTS.Store(0)
+		return false
+	}
+	close(t.done)
+	return true
+}
+
+// MarkAborted transitions Active -> Aborted and wakes all waiters. It reports
+// false if the transaction was already finished.
+func (t *Txn) MarkAborted() bool {
+	if !t.state.CompareAndSwap(int32(Active), int32(Aborted)) {
+		return false
+	}
+	close(t.done)
+	return true
+}
+
+// AddDep records that t is ordered after other. Read-from dependencies on
+// uncommitted writers (read=true) propagate aborts; pure ordering
+// dependencies only delay commit. Dependencies on already-committed
+// transactions are dropped (nothing to wait for); a read-from dependency on
+// an already-aborted transaction returns ErrCascade.
+func (t *Txn) AddDep(other *Txn, read bool) error {
+	if other == nil || other == t {
+		return nil
+	}
+	switch other.State() {
+	case Committed:
+		return nil
+	case Aborted:
+		if read {
+			return ErrCascade
+		}
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d, ok := t.deps[other.ID]; ok {
+		if read && !d.Read {
+			t.deps[other.ID] = Dep{T: other, Read: true}
+		}
+		return nil
+	}
+	t.deps[other.ID] = Dep{T: other, Read: read}
+	return nil
+}
+
+// Deps returns a snapshot of the recorded dependency set.
+func (t *Txn) Deps() []Dep {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Dep, 0, len(t.deps))
+	for _, d := range t.deps {
+		out = append(out, d)
+	}
+	return out
+}
+
+// WaitDeps blocks until every recorded dependency has finished, enforcing
+// consistent ordering at commit time (the generalization of Callas' nexus
+// lock release order, §4.2). It returns ErrCascade if a read-from dependency
+// aborted, and ErrTimeout if the deadline expires. Dependencies recorded
+// while waiting (by concurrent operations of this transaction) are picked up
+// by re-snapshotting until a fixed point.
+func (t *Txn) WaitDeps(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	seen := make(map[uint64]bool)
+	for {
+		deps := t.Deps()
+		progress := false
+		for _, d := range deps {
+			if seen[d.T.ID] {
+				continue
+			}
+			progress = true
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return ErrTimeout
+			}
+			select {
+			case <-d.T.Done():
+			case <-time.After(remain):
+				return ErrTimeout
+			}
+			if d.T.State() == Aborted && d.Read {
+				return ErrCascade
+			}
+			seen[d.T.ID] = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// AddWrite records an installed (still uncommitted) version.
+func (t *Txn) AddWrite(c *Chain, v *Version) {
+	t.mu.Lock()
+	t.writes = append(t.writes, WriteRef{Chain: c, V: v})
+	t.mu.Unlock()
+}
+
+// Writes returns the transaction's installed versions.
+func (t *Txn) Writes() []WriteRef {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]WriteRef, len(t.writes))
+	copy(out, t.writes)
+	return out
+}
+
+// Leaf returns the leaf node of the transaction's CC path.
+func (t *Txn) Leaf() *Node { return t.Path[len(t.Path)-1] }

@@ -1,0 +1,271 @@
+// Package engine orchestrates Tebaldi's hierarchical Modular Concurrency
+// Control: it builds CC trees from declarative configurations, drives every
+// transaction through the four-phase / two-pass execution protocol (§4.3.1),
+// enforces consistent ordering at commit time, and hosts the storage, GC,
+// durability, profiling and reconfiguration machinery.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc/nocc"
+	"repro/internal/cc/rp"
+	"repro/internal/cc/ssi"
+	"repro/internal/cc/tso"
+	"repro/internal/cc/twopl"
+	"repro/internal/core"
+)
+
+// Kind names a CC mechanism.
+type Kind string
+
+// The CC mechanisms Tebaldi ships (§4.4).
+const (
+	KindNone Kind = "none" // empty CC (read-only groups)
+	Kind2PL  Kind = "2pl"  // two-phase locking / nexus locks
+	KindRP   Kind = "rp"   // runtime pipelining
+	KindSSI  Kind = "ssi"  // serializable snapshot isolation
+	KindTSO  Kind = "tso"  // multiversion timestamp ordering
+)
+
+// NodeSpec declaratively describes one node of a CC tree. A tree
+// configuration is a *NodeSpec for the root.
+type NodeSpec struct {
+	// Kind selects the mechanism.
+	Kind Kind
+	// Types are the transaction types assigned directly to this node
+	// (leaf groups).
+	Types []string
+	// Children are the delegated subgroups.
+	Children []*NodeSpec
+	// ByInstance routes transactions among children by instance partition
+	// (Txn.Part) instead of by type. Combined with Clones it implements
+	// partition-by-instance (§5.4.2).
+	ByInstance bool
+	// Clones expands Children[0] into this many identical children
+	// (requires ByInstance).
+	Clones int
+	// BatchSize overrides the SSI/TSO consistent-ordering batch size.
+	BatchSize int
+	// ForceBatched disables SSI's optimized-mode detection (evaluation of
+	// batching costs).
+	ForceBatched bool
+}
+
+// G is a convenience constructor: G(kind, types, children...).
+func G(kind Kind, types []string, children ...*NodeSpec) *NodeSpec {
+	return &NodeSpec{Kind: kind, Types: types, Children: children}
+}
+
+// Clone deep-copies the spec.
+func (s *NodeSpec) Clone() *NodeSpec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Types = append([]string(nil), s.Types...)
+	c.Children = nil
+	for _, ch := range s.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	return &c
+}
+
+// Equal reports structural equality (used by the online-update diff).
+func (s *NodeSpec) Equal(o *NodeSpec) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Kind != o.Kind || s.ByInstance != o.ByInstance || s.Clones != o.Clones ||
+		s.BatchSize != o.BatchSize || s.ForceBatched != o.ForceBatched ||
+		len(s.Types) != len(o.Types) || len(s.Children) != len(o.Children) {
+		return false
+	}
+	for i := range s.Types {
+		if s.Types[i] != o.Types[i] {
+			return false
+		}
+	}
+	for i := range s.Children {
+		if !s.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllTypes returns every transaction type assigned in the spec's subtree.
+func (s *NodeSpec) AllTypes() []string {
+	out := append([]string(nil), s.Types...)
+	for _, c := range s.Children {
+		out = append(out, c.AllTypes()...)
+	}
+	return out
+}
+
+// String renders the configuration compactly.
+func (s *NodeSpec) String() string {
+	n := &core.Node{Types: s.Types, ByInstance: s.ByInstance}
+	n.CC = fakeCC(string(s.Kind))
+	for _, c := range s.Children {
+		n.Children = append(n.Children, specToRenderNode(c))
+	}
+	return n.String()
+}
+
+func specToRenderNode(s *NodeSpec) *core.Node {
+	n := &core.Node{Types: s.Types, ByInstance: s.ByInstance}
+	n.CC = fakeCC(string(s.Kind))
+	children := s.Children
+	if s.ByInstance && s.Clones > 1 && len(s.Children) == 1 {
+		children = make([]*NodeSpec, s.Clones)
+		for i := range children {
+			children[i] = s.Children[0]
+		}
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, specToRenderNode(c))
+	}
+	return n
+}
+
+type fakeCC string
+
+func (f fakeCC) Name() string                       { return string(f) }
+func (f fakeCC) Begin(*core.Txn) error              { return nil }
+func (f fakeCC) PreRead(*core.Txn, core.Key) error  { return nil }
+func (f fakeCC) PreWrite(*core.Txn, core.Key) error { return nil }
+func (f fakeCC) Validate(*core.Txn) error           { return nil }
+func (f fakeCC) Commit(*core.Txn)                   {}
+func (f fakeCC) Abort(*core.Txn)                    {}
+func (f fakeCC) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, p *core.Version) (*core.Version, error) {
+	return p, nil
+}
+func (f fakeCC) PostWrite(*core.Txn, core.Key, *core.Chain, *core.Version) error { return nil }
+
+// Tree is a built, runnable CC tree.
+type Tree struct {
+	Root *Node2
+	Spec *NodeSpec
+}
+
+// Node2 aliases core.Node (kept distinct in the engine's API surface).
+type Node2 = core.Node
+
+// buildTree materializes a NodeSpec into core Nodes with CC instances.
+func (e *Engine) buildTree(spec *NodeSpec) (*Tree, error) {
+	spec = spec.Clone()
+	root, err := e.buildSubtree(spec, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	root.FinalizeRouting()
+	return &Tree{Root: root, Spec: spec}, nil
+}
+
+// buildSubtree materializes one subtree rooted at depth, instantiating CC
+// mechanisms bottom-up (RP's static analysis and SSI's optimized-mode
+// detection read the completed subtree structure).
+func (e *Engine) buildSubtree(s *NodeSpec, depth int, parent *core.Node) (*core.Node, error) {
+	n := &core.Node{
+		ID:         int(e.nodeSeq.Add(1)),
+		Depth:      depth,
+		Parent:     parent,
+		Types:      append([]string(nil), s.Types...),
+		ByInstance: s.ByInstance,
+	}
+	children := s.Children
+	if s.ByInstance && s.Clones > 1 {
+		if len(s.Children) != 1 {
+			return nil, fmt.Errorf("engine: Clones requires exactly one child template")
+		}
+		children = make([]*NodeSpec, s.Clones)
+		for i := range children {
+			children[i] = s.Children[0].Clone()
+		}
+	}
+	for _, cs := range children {
+		cn, err := e.buildSubtree(cs, depth+1, n)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, cn)
+	}
+	cc, err := e.newCC(s, n)
+	if err != nil {
+		return nil, err
+	}
+	n.CC = cc
+	return n, nil
+}
+
+func (e *Engine) newCC(s *NodeSpec, n *core.Node) (core.CC, error) {
+	switch s.Kind {
+	case KindNone:
+		return nocc.New(), nil
+	case Kind2PL:
+		return twopl.New(e.env, n), nil
+	case KindRP:
+		return rp.New(e.env, n), nil
+	case KindSSI:
+		return ssi.New(e.env, n, ssi.Options{
+			BatchSize:    s.BatchSize,
+			ForceBatched: s.ForceBatched,
+			BatchAge:     e.opts.BatchAge,
+		}), nil
+	case KindTSO:
+		return tso.New(e.env, n, tso.Options{BatchSize: s.BatchSize, BatchAge: e.opts.BatchAge}), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown CC kind %q", s.Kind)
+	}
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Shards is the number of data servers (storage partitions).
+	Shards int
+	// LockTimeout bounds lock/pipeline/dependency waits; expiry aborts
+	// the waiter (deadlock resolution, §4.4.1).
+	LockTimeout time.Duration
+	// GCInterval is the period of the version garbage collector
+	// (§4.5.3); 0 disables background GC.
+	GCInterval time.Duration
+	// Profiling enables the blocking-event profiler (§5.3).
+	Profiling bool
+	// BatchAge bounds SSI/TSO batch lifetimes.
+	BatchAge time.Duration
+	// NetworkDelay, when > 0, is slept on every storage operation to
+	// simulate the TC <-> DS network round trip of the paper's cluster.
+	NetworkDelay time.Duration
+	// DurabilityDir enables the WAL durability module (§4.5.4), logging
+	// to this directory.
+	DurabilityDir string
+	// DurabilitySync forces synchronous flushing (default: asynchronous
+	// GCP-epoch flushing).
+	DurabilitySync bool
+	// GCPEpoch is the GCP epoch length for asynchronous flushing.
+	GCPEpoch time.Duration
+	// DrainTimeout bounds reconfiguration quiescing before ongoing
+	// transactions are force-aborted (§5.5.1).
+	DrainTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Shards <= 0 {
+		out.Shards = 16
+	}
+	if out.LockTimeout <= 0 {
+		out.LockTimeout = 100 * time.Millisecond
+	}
+	if out.GCInterval < 0 {
+		out.GCInterval = 0
+	} else if out.GCInterval == 0 {
+		out.GCInterval = 50 * time.Millisecond
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 2 * out.LockTimeout
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDiffSpecEqual(t *testing.T) {
+	a := G(KindSSI, nil, G(KindNone, []string{"r"}), G(Kind2PL, []string{"w"}))
+	b := a.Clone()
+	if _, eq := diffSpec(a, b); !eq {
+		t.Fatal("identical specs reported different")
+	}
+}
+
+func TestDiffSpecChildChange(t *testing.T) {
+	a := G(KindSSI, nil, G(KindNone, []string{"r"}), G(Kind2PL, []string{"w1", "w2"}))
+	b := G(KindSSI, nil, G(KindNone, []string{"r"}),
+		G(Kind2PL, nil, G(KindRP, []string{"w1"}), G(Kind2PL, []string{"w2"})))
+	path, eq := diffSpec(a, b)
+	if eq || !reflect.DeepEqual(path, []int{1}) {
+		t.Fatalf("path=%v eq=%v", path, eq)
+	}
+}
+
+func TestDiffSpecRootChange(t *testing.T) {
+	a := G(KindSSI, nil, G(KindNone, []string{"r"}), G(Kind2PL, []string{"w"}))
+	b := G(Kind2PL, nil, G(KindNone, []string{"r"}), G(Kind2PL, []string{"w"}))
+	path, eq := diffSpec(a, b)
+	if eq || path != nil {
+		t.Fatalf("root change: path=%v eq=%v", path, eq)
+	}
+}
+
+func TestDiffSpecMultipleChildrenChangedIsNodeLevel(t *testing.T) {
+	a := G(KindSSI, nil, G(KindNone, []string{"r"}), G(Kind2PL, []string{"w"}))
+	b := G(KindSSI, nil, G(Kind2PL, []string{"r"}), G(KindRP, []string{"w"}))
+	path, eq := diffSpec(a, b)
+	if eq || path != nil {
+		t.Fatalf("multi-child change should be node-level: path=%v eq=%v", path, eq)
+	}
+}
+
+func TestDiffSpecDeepChange(t *testing.T) {
+	mk := func(kind Kind) *NodeSpec {
+		return G(KindSSI, nil,
+			G(KindNone, []string{"r"}),
+			G(Kind2PL, nil,
+				G(KindRP, []string{"a"}),
+				G(kind, []string{"b"})))
+	}
+	path, eq := diffSpec(mk(Kind2PL), mk(KindTSO))
+	if eq || !reflect.DeepEqual(path, []int{1, 1}) {
+		t.Fatalf("path=%v eq=%v", path, eq)
+	}
+}
+
+func TestNodeSpecCloneIsDeep(t *testing.T) {
+	a := G(KindSSI, []string{"x"}, G(Kind2PL, []string{"y"}))
+	b := a.Clone()
+	b.Types[0] = "z"
+	b.Children[0].Kind = KindRP
+	if a.Types[0] != "x" || a.Children[0].Kind != Kind2PL {
+		t.Fatal("clone aliases the original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+}
+
+func TestAllTypes(t *testing.T) {
+	cfg := G(KindSSI, []string{"a"},
+		G(KindNone, []string{"b"}),
+		G(Kind2PL, nil, G(KindRP, []string{"c", "d"})))
+	got := cfg.AllTypes()
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for _, typ := range got {
+		if !want[typ] {
+			t.Fatalf("unexpected %s", typ)
+		}
+	}
+}
+
+func TestConfigStringRendersTree(t *testing.T) {
+	cfg := G(KindSSI, nil,
+		G(KindNone, []string{"os", "sl"}),
+		G(Kind2PL, nil, G(KindRP, []string{"no", "pay"}), G(KindRP, []string{"del"})))
+	want := "ssi[ none{os,sl} 2pl[ rp{no,pay} rp{del} ] ]"
+	if got := cfg.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestOnlineUpdateEqualConfigIsNoop(t *testing.T) {
+	cfg := G(KindSSI, nil, G(KindNone, []string{"audit"}), G(Kind2PL, []string{"transfer", "deposit"}))
+	e := newBank(t, cfg, 4)
+	defer e.Close()
+	if err := e.Reconfigure(cfg.Clone(), OnlineUpdate); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigureRejectsUnknownKind(t *testing.T) {
+	cfg := G(KindSSI, nil, G(KindNone, []string{"audit"}), G(Kind2PL, []string{"transfer", "deposit"}))
+	e := newBank(t, cfg, 4)
+	defer e.Close()
+	bad := cfg.Clone()
+	bad.Children[1].Kind = "bogus"
+	if err := e.Reconfigure(bad, PartialRestart); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	// The engine must still work on the old tree.
+	if err := e.RunTxn("transfer", 0, func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

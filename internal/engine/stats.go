@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Stats holds engine-wide counters. All fields are updated atomically; use
+// Snapshot for consistent windows.
+type Stats struct {
+	commits       atomic.Uint64
+	aborts        atomic.Uint64
+	abortTimeout  atomic.Uint64
+	abortConflict atomic.Uint64
+	abortPivot    atomic.Uint64
+	abortCascade  atomic.Uint64
+	abortUser     atomic.Uint64
+	walErrors     atomic.Uint64
+
+	mu      sync.Mutex
+	perType map[string]*TypeStats
+}
+
+// TypeStats aggregates per-transaction-type results.
+type TypeStats struct {
+	Commits   atomic.Uint64
+	Aborts    atomic.Uint64
+	LatencyNs atomic.Uint64 // sum of commit latencies
+}
+
+func (s *Stats) typeStats(typ string) *TypeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perType == nil {
+		s.perType = make(map[string]*TypeStats)
+	}
+	ts := s.perType[typ]
+	if ts == nil {
+		ts = &TypeStats{}
+		s.perType[typ] = ts
+	}
+	return ts
+}
+
+func (s *Stats) recordCommit(t *core.Txn) {
+	s.commits.Add(1)
+	ts := s.typeStats(t.Type)
+	ts.Commits.Add(1)
+	ts.LatencyNs.Add(uint64(time.Since(t.Start).Nanoseconds()))
+}
+
+func (s *Stats) recordAbort(t *core.Txn, cause error) {
+	s.aborts.Add(1)
+	s.typeStats(t.Type).Aborts.Add(1)
+	switch {
+	case errors.Is(cause, core.ErrTimeout):
+		s.abortTimeout.Add(1)
+	case errors.Is(cause, core.ErrPivot):
+		s.abortPivot.Add(1)
+	case errors.Is(cause, core.ErrCascade):
+		s.abortCascade.Add(1)
+	case errors.Is(cause, core.ErrConflict):
+		s.abortConflict.Add(1)
+	default:
+		s.abortUser.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	At            time.Time
+	Commits       uint64
+	Aborts        uint64
+	AbortTimeout  uint64
+	AbortConflict uint64
+	AbortPivot    uint64
+	AbortCascade  uint64
+	PerType       map[string]TypeSnapshot
+}
+
+// TypeSnapshot is the per-type portion of a Snapshot.
+type TypeSnapshot struct {
+	Commits   uint64
+	Aborts    uint64
+	LatencyNs uint64
+}
+
+// Snapshot captures the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		At:            time.Now(),
+		Commits:       s.commits.Load(),
+		Aborts:        s.aborts.Load(),
+		AbortTimeout:  s.abortTimeout.Load(),
+		AbortConflict: s.abortConflict.Load(),
+		AbortPivot:    s.abortPivot.Load(),
+		AbortCascade:  s.abortCascade.Load(),
+		PerType:       map[string]TypeSnapshot{},
+	}
+	s.mu.Lock()
+	for typ, ts := range s.perType {
+		snap.PerType[typ] = TypeSnapshot{
+			Commits:   ts.Commits.Load(),
+			Aborts:    ts.Aborts.Load(),
+			LatencyNs: ts.LatencyNs.Load(),
+		}
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// Window summarizes the interval between two snapshots.
+type Window struct {
+	Duration   time.Duration
+	Commits    uint64
+	Aborts     uint64
+	Throughput float64 // committed txn/sec
+	AbortRate  float64 // aborts / (commits+aborts)
+	PerType    map[string]WindowType
+}
+
+// WindowType is the per-type portion of a Window.
+type WindowType struct {
+	Commits    uint64
+	Aborts     uint64
+	Throughput float64
+	// MeanLatency is the mean commit latency over the window.
+	MeanLatency time.Duration
+}
+
+// Since computes the window from an earlier snapshot to now.
+func (s *Stats) Since(prev Snapshot) Window {
+	cur := s.Snapshot()
+	d := cur.At.Sub(prev.At)
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	w := Window{
+		Duration: d,
+		Commits:  cur.Commits - prev.Commits,
+		Aborts:   cur.Aborts - prev.Aborts,
+		PerType:  map[string]WindowType{},
+	}
+	w.Throughput = float64(w.Commits) / d.Seconds()
+	if total := w.Commits + w.Aborts; total > 0 {
+		w.AbortRate = float64(w.Aborts) / float64(total)
+	}
+	for typ, c := range cur.PerType {
+		p := prev.PerType[typ]
+		wt := WindowType{
+			Commits: c.Commits - p.Commits,
+			Aborts:  c.Aborts - p.Aborts,
+		}
+		wt.Throughput = float64(wt.Commits) / d.Seconds()
+		if wt.Commits > 0 {
+			wt.MeanLatency = time.Duration((c.LatencyNs - p.LatencyNs) / wt.Commits)
+		}
+		w.PerType[typ] = wt
+	}
+	return w
+}

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Tx is a handle on one executing transaction. All methods must be called
+// from a single goroutine (transactions are client-driven, §4.5.1).
+type Tx struct {
+	e        *Engine
+	t        *core.Txn
+	finished bool
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.t.ID }
+
+// Txn exposes the underlying transaction (tests, tooling).
+func (tx *Tx) Txn() *core.Txn { return tx.t }
+
+func (tx *Tx) check() error {
+	if tx.finished {
+		return fmt.Errorf("engine: transaction %d already finished", tx.t.ID)
+	}
+	if tx.t.State() == core.Aborted {
+		// Force-aborted (reconfiguration drain): clean up on the
+		// owner goroutine.
+		return tx.abortWith(core.ErrReconfiguring)
+	}
+	return nil
+}
+
+// Read returns the value of k as selected by the CC tree (nil when the key
+// is absent at the transaction's snapshot). The returned slice must not be
+// modified.
+func (tx *Tx) Read(k core.Key) ([]byte, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	t := tx.t
+	tx.e.netDelay()
+	ch := tx.e.store.Chain(k)
+
+	// Read-your-own-writes fast path.
+	ch.Lock()
+	if v := ch.VersionBy(t); v != nil && !v.Promise {
+		val := v.Value
+		ch.Unlock()
+		return val, nil
+	}
+	ch.Unlock()
+
+	// Top-down pass: every CC on the path may block or abort.
+	for _, n := range t.Path {
+		if err := n.CC.PreRead(t, k); err != nil {
+			return nil, tx.abortWith(err)
+		}
+	}
+
+	// Bottom-up pass: the leaf proposes, ancestors amend.
+	deadline := time.Now().Add(tx.e.opts.LockTimeout)
+	for {
+		ch.Lock()
+		var proposal *core.Version
+		var waitFor *core.WaitFor
+		var err error
+		for i := len(t.Path) - 1; i >= 0; i-- {
+			proposal, err = t.Path[i].CC.AmendRead(t, k, ch, proposal)
+			if err != nil {
+				if w, ok := err.(*core.WaitFor); ok {
+					waitFor = w
+					break
+				}
+				ch.Unlock()
+				return nil, tx.abortWith(err)
+			}
+		}
+		if waitFor == nil {
+			var val []byte
+			if proposal != nil {
+				if proposal.Pending() && proposal.Writer != t {
+					// Read-from an uncommitted version:
+					// record the cascading dependency while
+					// the chain is locked, so an abort of
+					// the writer cannot slip in between.
+					if err := t.AddDep(proposal.Writer, true); err != nil {
+						ch.Unlock()
+						return nil, tx.abortWith(err)
+					}
+				}
+				val = proposal.Value
+			}
+			ch.Unlock()
+			return val, nil
+		}
+		// The version is not readable yet: either a promised write
+		// whose value has not arrived (§4.4.4) or a committing writer
+		// whose outcome the snapshot depends on. Wait and retry.
+		v := waitFor.V
+		ch.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, tx.abortWith(core.ErrTimeout)
+		}
+		waitCh := v.Ready()
+		if waitCh == nil {
+			waitCh = v.Writer.Done()
+		}
+		start := time.Now()
+		timer := time.NewTimer(remain)
+		select {
+		case <-waitCh:
+			timer.Stop()
+			tx.e.env.Report(t, v.Writer, start, time.Now())
+		case <-timer.C:
+			tx.e.env.Report(t, v.Writer, start, time.Now())
+			return nil, tx.abortWith(core.ErrTimeout)
+		}
+	}
+}
+
+// Write installs (or overwrites) the transaction's version of k.
+func (tx *Tx) Write(k core.Key, value []byte) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t := tx.t
+	tx.e.netDelay()
+
+	for _, n := range t.Path {
+		if err := n.CC.PreWrite(t, k); err != nil {
+			return tx.abortWith(err)
+		}
+	}
+
+	ch := tx.e.store.Chain(k)
+	ch.Lock()
+	v := ch.VersionBy(t)
+	switch {
+	case v != nil && v.Promise:
+		// Fulfil the promise declared at start; readers waiting on
+		// it wake up with the value.
+		v.Fulfill(value)
+		t.AddWrite(ch, v)
+	case v != nil:
+		// Second write of the same key: overwrite in place.
+		v.Value = value
+		ch.Unlock()
+		return nil
+	default:
+		v = &core.Version{Writer: t, Value: value}
+		ch.Install(v)
+		t.AddWrite(ch, v)
+	}
+	// Bottom-up pass: conflict checks and ordering metadata.
+	for i := len(t.Path) - 1; i >= 0; i-- {
+		if err := t.Path[i].CC.PostWrite(t, k, ch, v); err != nil {
+			ch.Unlock()
+			return tx.abortWith(err)
+		}
+	}
+	ch.Unlock()
+	return nil
+}
+
+// promiser is implemented by CC mechanisms supporting declared writes.
+type promiser interface {
+	Promise(t *core.Txn, ch *core.Chain)
+}
+
+// Promise declares keys the transaction will write (TSO promises, §4.4.4).
+// Must be called before the first operation on those keys.
+func (tx *Tx) Promise(keys ...core.Key) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		ch := tx.e.store.Chain(k)
+		for _, n := range tx.t.Path {
+			if p, ok := n.CC.(promiser); ok {
+				ch.Lock()
+				p.Promise(tx.t, ch)
+				ch.Unlock()
+			}
+		}
+	}
+	return nil
+}
+
+// Commit runs validation, the consistent-ordering dependency wait, the
+// durability protocol, and the chained leaf-to-root commit phase.
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	t := tx.t
+
+	// Consistent ordering (§4.2): wait for every recorded dependency to
+	// commit; cascade if a read-from dependency aborted. This runs BEFORE
+	// validation so that validation-time conflict checks (SSI's read-set
+	// rescan) are separated from the commit point only by microseconds,
+	// not by a potentially long dependency wait.
+	if err := tx.waitDeps(); err != nil {
+		return tx.abortWith(err)
+	}
+
+	// Validation phase, top-down.
+	for _, n := range t.Path {
+		if err := n.CC.Validate(t); err != nil {
+			return tx.abortWith(err)
+		}
+	}
+
+	// Durability: persist precommit records on every participating data
+	// server, then the coordinator's commit record (§4.5.4).
+	var epoch uint64
+	if tx.e.walMgr != nil {
+		byShard := map[int][]wal.KV{}
+		for _, w := range t.Writes() {
+			sh := tx.e.store.ShardIndex(w.Chain.Key)
+			byShard[sh] = append(byShard[sh], wal.KV{Key: w.Chain.Key, Value: w.V.Value})
+		}
+		if len(byShard) > 0 {
+			var err error
+			epoch, err = tx.e.walMgr.Precommit(t.ID, byShard)
+			if err != nil {
+				return tx.abortWith(fmt.Errorf("%w: wal: %v", core.ErrAborted, err))
+			}
+		}
+	}
+
+	commitTS, ok := t.MarkCommittedNext(tx.e.oracle)
+	if !ok {
+		// Force-aborted while committing.
+		return tx.abortWith(core.ErrReconfiguring)
+	}
+	if tx.e.walMgr != nil && len(t.Writes()) > 0 {
+		if err := tx.e.walMgr.Commit(t.ID, commitTS, epoch); err != nil {
+			// The transaction is already committed in memory; a
+			// commit-record write failure means durability (not
+			// atomicity) is at risk. Surface loudly.
+			tx.e.stats.walErrors.Add(1)
+		}
+	}
+
+	// Commit phase, chained leaf -> root, uninterrupted.
+	for i := len(t.Path) - 1; i >= 0; i-- {
+		t.Path[i].CC.Commit(t)
+	}
+	tx.e.unregister(t)
+	tx.e.stats.recordCommit(t)
+	tx.finished = true
+	return nil
+}
+
+// waitDeps enforces consistent ordering at commit: the transaction commits
+// only after every recorded dependency has committed (the generalization of
+// the nexus lock release order). Each wait is reported to the profiler as a
+// blocking event on the dependency's transaction type.
+func (tx *Tx) waitDeps() error {
+	t := tx.t
+	deadline := time.Now().Add(tx.e.opts.LockTimeout)
+	seen := make(map[uint64]bool)
+	for {
+		progress := false
+		for _, d := range t.Deps() {
+			if seen[d.T.ID] {
+				continue
+			}
+			seen[d.T.ID] = true
+			progress = true
+			if d.T.Finished() {
+				if d.T.State() == core.Aborted && d.Read {
+					return core.ErrCascade
+				}
+				continue
+			}
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return core.ErrTimeout
+			}
+			start := time.Now()
+			timer := time.NewTimer(remain)
+			select {
+			case <-d.T.Done():
+				timer.Stop()
+			case <-timer.C:
+				tx.e.env.Report(t, d.T, start, time.Now())
+				return core.ErrTimeout
+			}
+			tx.e.env.Report(t, d.T, start, time.Now())
+			if d.T.State() == core.Aborted && d.Read {
+				return core.ErrCascade
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// Rollback aborts the transaction. cause is recorded in the abort stats
+// (nil means user abort).
+func (tx *Tx) Rollback(cause error) {
+	if tx.finished {
+		return
+	}
+	if cause == nil {
+		cause = core.ErrUserAbort
+	}
+	tx.abortWith(cause)
+}
+
+// abortWith finishes the transaction on its abort path and returns the
+// (wrapped) cause. Idempotent with respect to force-aborts: the cleanup
+// always runs exactly once, on the owner goroutine.
+func (tx *Tx) abortWith(cause error) error {
+	if tx.finished {
+		return cause
+	}
+	tx.finished = true
+	t := tx.t
+	t.MarkAborted()
+	// Remove installed versions so no new reader observes them; existing
+	// readers cascade via their read-from dependencies.
+	for _, w := range t.Writes() {
+		w.Chain.Lock()
+		w.Chain.Remove(w.V)
+		w.Chain.Unlock()
+	}
+	// Abort phase, leaf -> root.
+	for i := len(t.Path) - 1; i >= 0; i-- {
+		t.Path[i].CC.Abort(t)
+	}
+	tx.e.unregister(t)
+	tx.e.stats.recordAbort(t, cause)
+	return cause
+}

@@ -1,0 +1,181 @@
+// Package kvstore is a minimal persistent key-value store used as Tebaldi's
+// underlying durable storage. The paper outsources persistence to Redis or
+// RocksDB through a plain key-value interface (§4.5.4); this package is the
+// stdlib-only substitute: an append-only log file with an in-memory index.
+// Tebaldi stores transaction logs — not materialized rows — in this store,
+// exactly as described in the paper ("the underlying storage has all the
+// data ... in the form of transaction logs").
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is an append-only persistent key-value store. Writes append records;
+// the latest record for a key wins. Sync flushes and fsyncs.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	// index maps key -> latest value (kept in memory; Tebaldi's logs are
+	// pruned by log truncation at checkpoints in a full system — out of
+	// scope here).
+	index map[string][]byte
+}
+
+// Open opens (creating if necessary) the store at path, replaying any
+// existing records into the index.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	s := &Store{f: f, path: path, index: make(map[string][]byte)}
+	valid, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate a torn tail (crash mid-append).
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: truncate: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek: %w", err)
+	}
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	return s, nil
+}
+
+// replay loads all complete records, returning the byte offset of the last
+// complete record's end.
+func (s *Store) replay() (int64, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReaderSize(s.f, 1<<16)
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		klen := binary.LittleEndian.Uint32(hdr[0:4])
+		vlen := binary.LittleEndian.Uint32(hdr[4:8])
+		if klen > 1<<20 || vlen > 1<<26 {
+			return off, nil // corrupt length: treat as torn tail
+		}
+		buf := make([]byte, int(klen)+int(vlen))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return off, nil
+		}
+		key := string(buf[:klen])
+		val := buf[klen:]
+		if vlen == 0 {
+			delete(s.index, key)
+		} else {
+			s.index[key] = val
+		}
+		off += 8 + int64(klen) + int64(vlen)
+	}
+}
+
+// Set stores value under key (buffered; call Sync for durability).
+func (s *Store) Set(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return errors.New("kvstore: closed")
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(value)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.WriteString(key); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(value); err != nil {
+		return err
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.index[key] = cp
+	return nil
+}
+
+// Get returns the latest value for key (nil if absent).
+func (s *Store) Get(key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index[key]
+}
+
+// ForEach visits every live key-value pair.
+func (s *Store) ForEach(f func(key string, value []byte) error) error {
+	s.mu.Lock()
+	snapshot := make(map[string][]byte, len(s.index))
+	for k, v := range s.index {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	for k, v := range snapshot {
+		if err := f(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Sync flushes buffered writes and fsyncs the file. The fsync happens
+// outside the store mutex so concurrent Sets are not stalled for the disk's
+// latency (asynchronous flushing would otherwise block the commit path).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	if s.w == nil {
+		s.mu.Unlock()
+		return errors.New("kvstore: closed")
+	}
+	err := s.w.Flush()
+	f := s.f
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.w = nil
+	return s.f.Close()
+}

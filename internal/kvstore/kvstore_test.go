@@ -1,0 +1,149 @@
+package kvstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestSetGet(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	if err := s.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s.Get("a")); got != "1" {
+		t.Fatalf("got %q", got)
+	}
+	if s.Get("missing") != nil {
+		t.Fatal("missing key returned value")
+	}
+	if err := s.Set("a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s.Get("a")); got != "2" {
+		t.Fatalf("overwrite: got %q", got)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	s, path := tempStore(t)
+	s.Set("x", []byte("abc"))
+	s.Set("y", []byte("def"))
+	s.Set("x", []byte("xyz"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := string(s2.Get("x")); got != "xyz" {
+		t.Fatalf("x = %q", got)
+	}
+	if got := string(s2.Get("y")); got != "def" {
+		t.Fatalf("y = %q", got)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("len %d", s2.Len())
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	s, path := tempStore(t)
+	s.Set("good", []byte("value"))
+	s.Close()
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 200}) // header promises more than present
+	f.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := string(s2.Get("good")); got != "value" {
+		t.Fatalf("good = %q", got)
+	}
+	// The store must still accept writes after truncation.
+	if err := s2.Set("more", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	s.Set("a", []byte("1"))
+	s.Set("b", []byte("2"))
+	seen := map[string]string{}
+	s.ForEach(func(k string, v []byte) error {
+		seen[k] = string(v)
+		return nil
+	})
+	if len(seen) != 2 || seen["a"] != "1" || seen["b"] != "2" {
+		t.Fatalf("seen %v", seen)
+	}
+}
+
+// Property: any sequence of sets survives a close/reopen with last-write-wins
+// semantics.
+func TestRoundTripProperty(t *testing.T) {
+	type op struct {
+		Key byte
+		Val []byte
+	}
+	f := func(ops []op) bool {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "p.log")
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		want := map[string][]byte{}
+		for _, o := range ops {
+			k := string('a' + o.Key%8)
+			v := o.Val
+			if len(v) == 0 {
+				continue // empty value = tombstone semantics, skip
+			}
+			if err := s.Set(k, v); err != nil {
+				return false
+			}
+			want[k] = v
+		}
+		s.Close()
+		s2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		for k, v := range want {
+			if string(s2.Get(k)) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func env(timeout time.Duration) *core.Env {
+	return &core.Env{LockTimeout: timeout}
+}
+
+func txn(id uint64, typ string) *core.Txn {
+	t := core.NewTxn(id, typ, 0, id)
+	return t
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	tbl := New(env(time.Second), nil)
+	k := core.K("t", "x")
+	a, b := txn(1, "a"), txn(2, "b")
+	if err := tbl.Acquire(a, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Acquire(b, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Holds(a, k) || !tbl.Holds(b, k) {
+		t.Fatal("both should hold")
+	}
+}
+
+func TestExclusiveBlocksAndWakes(t *testing.T) {
+	tbl := New(env(time.Second), nil)
+	k := core.K("t", "x")
+	a, b := txn(1, "a"), txn(2, "b")
+	if err := tbl.Acquire(a, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- tbl.Acquire(b, k, Exclusive) }()
+	select {
+	case <-acquired:
+		t.Fatal("b acquired while a held X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tbl.Release(a, k)
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	// b must now have an ordering dependency on a.
+	deps := b.Deps()
+	if len(deps) != 1 || deps[0].T != a {
+		t.Fatalf("deps = %+v", deps)
+	}
+}
+
+func TestTimeoutResolvesDeadlock(t *testing.T) {
+	tbl := New(env(50*time.Millisecond), nil)
+	k1, k2 := core.K("t", "1"), core.K("t", "2")
+	a, b := txn(1, "a"), txn(2, "b")
+	if err := tbl.Acquire(a, k1, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Acquire(b, k2, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var timeouts atomic.Int32
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := tbl.Acquire(a, k2, Exclusive); errors.Is(err, core.ErrTimeout) {
+			timeouts.Add(1)
+			tbl.Release(a, k1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := tbl.Acquire(b, k1, Exclusive); errors.Is(err, core.ErrTimeout) {
+			timeouts.Add(1)
+			tbl.Release(b, k2)
+		}
+	}()
+	wg.Wait()
+	if timeouts.Load() == 0 {
+		t.Fatal("deadlock not resolved by timeout")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	tbl := New(env(time.Second), nil)
+	k := core.K("t", "x")
+	a := txn(1, "a")
+	if err := tbl.Acquire(a, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Acquire(a, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	b := txn(2, "b")
+	errCh := make(chan error, 1)
+	go func() { errCh <- tbl.Acquire(b, k, Shared) }()
+	select {
+	case <-errCh:
+		t.Fatal("S granted against upgraded X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tbl.Release(a, k)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNexusExemption(t *testing.T) {
+	// Exempt pairs with equal types: same-child stand-in.
+	tbl := New(env(30*time.Millisecond), func(x, y *core.Txn) bool { return x.Type == y.Type })
+	k := core.K("t", "x")
+	a1, a2, b := txn(1, "g1"), txn(2, "g1"), txn(3, "g2")
+	if err := tbl.Acquire(a1, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Same group: no conflict even X-X.
+	if err := tbl.Acquire(a2, k, Exclusive); err != nil {
+		t.Fatalf("nexus exemption failed: %v", err)
+	}
+	// Different group: conflicts.
+	if err := tbl.Acquire(b, k, Shared); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestReleaseAllAndReacquire(t *testing.T) {
+	tbl := New(env(time.Second), nil)
+	a := txn(1, "a")
+	keys := []core.Key{core.K("t", "1"), core.K("t", "2"), core.K("t", "3")}
+	for _, k := range keys {
+		if err := tbl.Acquire(a, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.ReleaseAll(a, keys)
+	for _, k := range keys {
+		if tbl.Holds(a, k) {
+			t.Fatal("still held after ReleaseAll")
+		}
+	}
+	b := txn(2, "b")
+	for _, k := range keys {
+		if err := tbl.Acquire(b, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	tbl := New(env(2*time.Second), nil)
+	k := core.K("t", "hot")
+	var counter int64 // protected by the X lock, not atomics
+	var wg sync.WaitGroup
+	const workers, iters = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tx := txn(base*1000+uint64(i), "w")
+				if err := tbl.Acquire(tx, k, Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				tbl.Release(tx, k)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("lost updates: %d != %d (mutual exclusion broken)", counter, workers*iters)
+	}
+}
+
+func TestBlockEventReported(t *testing.T) {
+	rep := &captureReporter{}
+	e := env(time.Second)
+	e.Reporter = rep
+	tbl := New(e, nil)
+	k := core.K("t", "x")
+	a, b := txn(1, "A"), txn(2, "B")
+	tbl.Acquire(a, k, Exclusive)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		tbl.Release(a, k)
+	}()
+	if err := tbl.Acquire(b, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	evs := rep.events()
+	if len(evs) == 0 {
+		t.Fatal("no block event reported")
+	}
+	ev := evs[0]
+	if ev.BlockedType != "B" || ev.BlockerType != "A" {
+		t.Fatalf("event %+v", ev)
+	}
+	if ev.End.Sub(ev.Start) < 20*time.Millisecond {
+		t.Fatalf("blocked interval too short: %v", ev.End.Sub(ev.Start))
+	}
+}
+
+type captureReporter struct {
+	mu  sync.Mutex
+	evs []core.BlockEvent
+}
+
+func (c *captureReporter) ReportBlock(ev core.BlockEvent) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *captureReporter) events() []core.BlockEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]core.BlockEvent(nil), c.evs...)
+}

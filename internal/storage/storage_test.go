@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChainCreateAndLookup(t *testing.T) {
+	s := New(4)
+	k := core.K("t", "x")
+	if s.Lookup(k) != nil {
+		t.Fatal("lookup created a chain")
+	}
+	c := s.Chain(k)
+	if c == nil || s.Chain(k) != c {
+		t.Fatal("chain not stable")
+	}
+	if s.Lookup(k) != c {
+		t.Fatal("lookup missed")
+	}
+	if s.Keys() != 1 {
+		t.Fatalf("keys %d", s.Keys())
+	}
+}
+
+func TestShardIndexStable(t *testing.T) {
+	s := New(8)
+	k := core.K("a", "b")
+	i := s.ShardIndex(k)
+	for n := 0; n < 10; n++ {
+		if s.ShardIndex(k) != i {
+			t.Fatal("unstable shard index")
+		}
+	}
+	if i < 0 || i >= 8 {
+		t.Fatalf("out of range %d", i)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 50; i++ {
+		s.Chain(core.KeyOf("t", i))
+	}
+	n := 0
+	s.ForEach(func(*core.Chain) { n++ })
+	if n != 50 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestConcurrentChainCreation(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	chains := make([]*core.Chain, 32)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chains[i] = s.Chain(core.K("t", "same"))
+		}(w)
+	}
+	wg.Wait()
+	for _, c := range chains {
+		if c != chains[0] {
+			t.Fatal("duplicate chain for one key")
+		}
+	}
+}
+
+func TestStoreGC(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 10; i++ {
+		c := s.Chain(core.KeyOf("t", i))
+		c.Lock()
+		for v := uint64(1); v <= 5; v++ {
+			w := core.NewTxn(uint64(i)*10+v, "w", 0, 0)
+			w.MarkCommitted(v * 10)
+			c.Install(&core.Version{Writer: w, Value: []byte(fmt.Sprint(v))})
+		}
+		c.Unlock()
+	}
+	pruned := s.GC(35) // newest <= 35 is ts 30: ts 10, 20 reclaimable
+	if pruned != 10*2 {
+		t.Fatalf("pruned %d, want 20", pruned)
+	}
+	// Idempotent.
+	if again := s.GC(35); again != 0 {
+		t.Fatalf("second GC pruned %d", again)
+	}
+}
+
+func TestZeroShardsClamped(t *testing.T) {
+	s := New(0)
+	if s.NumShards() != 1 {
+		t.Fatalf("shards %d", s.NumShards())
+	}
+	s.Chain(core.K("a", "b")) // must not panic
+}

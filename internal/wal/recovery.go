@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// RecoveredWrite is one surviving committed write.
+type RecoveredWrite struct {
+	Key      core.Key
+	Value    []byte
+	CommitTS uint64
+}
+
+// RecoveredState is the outcome of recovery: the latest committed version of
+// every key, and the highest commit timestamp observed (the oracle must be
+// advanced past it).
+type RecoveredState struct {
+	Writes []RecoveredWrite
+	MaxTS  uint64
+	// Discarded counts transactions dropped by the GCP / 2PC rules
+	// (missing precommits, epoch beyond a durable frontier, or missing
+	// commit record).
+	Discarded int
+	Committed int
+}
+
+// Recover performs the three-step recovery procedure of §4.5.4:
+//
+//  1. retrieve logs from each data server's persistent store;
+//  2. reconstruct database state — discard transactions that are missing a
+//     precommit record on any participant, whose records fall beyond a
+//     server's durable epoch frontier, or that lack a coordinator commit
+//     record; keep the latest committed version of each key;
+//  3. CC-internal state (indices, version maps, lock tables) is rebuilt by
+//     the caller: recovered writes are re-installed as committed history
+//     that only the root CC needs to know about.
+func Recover(dir string, shards int) (*RecoveredState, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	type txnInfo struct {
+		precommits int
+		nShards    int
+		epochOK    bool
+		writes     []KV
+		commitTS   uint64
+		committed  bool
+	}
+	txns := map[uint64]*txnInfo{}
+	get := func(id uint64) *txnInfo {
+		t := txns[id]
+		if t == nil {
+			t = &txnInfo{epochOK: true}
+			txns[id] = t
+		}
+		return t
+	}
+
+	for i := 0; i < shards; i++ {
+		st, err := kvstore.Open(filepath.Join(dir, fmt.Sprintf("ds-%03d.log", i)))
+		if err != nil {
+			return nil, err
+		}
+		var frontier uint64
+		if b := st.Get(fmt.Sprintf("e/%d", i)); len(b) == 8 {
+			frontier = binary.LittleEndian.Uint64(b)
+		}
+		err = st.ForEach(func(key string, value []byte) error {
+			switch {
+			case strings.HasPrefix(key, "p/"):
+				p, err := decodePrecommit(value)
+				if err != nil {
+					return nil // torn record: skip
+				}
+				t := get(p.txnID)
+				t.precommits++
+				t.nShards = p.nShards
+				t.writes = append(t.writes, p.writes...)
+				if p.epoch > frontier {
+					t.epochOK = false
+				}
+			case strings.HasPrefix(key, "c/"):
+				id, err := strconv.ParseUint(key[2:], 10, 64)
+				if err != nil || len(value) < 16 {
+					return nil
+				}
+				t := get(id)
+				t.commitTS = binary.LittleEndian.Uint64(value[0:8])
+				if epoch := binary.LittleEndian.Uint64(value[8:16]); epoch > frontier {
+					t.epochOK = false
+				} else {
+					t.committed = true
+				}
+			}
+			return nil
+		})
+		cerr := st.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+
+	out := &RecoveredState{}
+	latest := map[core.Key]RecoveredWrite{}
+	for _, t := range txns {
+		if !t.committed || !t.epochOK || t.precommits < t.nShards {
+			out.Discarded++
+			continue
+		}
+		out.Committed++
+		if t.commitTS > out.MaxTS {
+			out.MaxTS = t.commitTS
+		}
+		for _, w := range t.writes {
+			if cur, ok := latest[w.Key]; !ok || t.commitTS > cur.CommitTS {
+				latest[w.Key] = RecoveredWrite{Key: w.Key, Value: w.Value, CommitTS: t.commitTS}
+			}
+		}
+	}
+	for _, w := range latest {
+		out.Writes = append(out.Writes, w)
+	}
+	return out, nil
+}

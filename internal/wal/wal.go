@@ -1,0 +1,308 @@
+// Package wal implements Tebaldi's durability module (§4.5.4): write-ahead
+// precommit logs per data server, a two-phase-commit shaped protocol, global
+// checkpoint (GCP) epochs, asynchronous flushing, and the three-step
+// recovery procedure.
+//
+// Protocol summary (mirroring the paper):
+//
+//   - During commit, each participating data server appends a precommit
+//     record carrying the transaction's writes on that server, the number of
+//     participating servers, and the server's current GCP epoch id.
+//   - The coordinator appends a commit record (transaction id, commit
+//     timestamp, global epoch id = max of participant epochs).
+//   - With asynchronous flushing, commit notification is decoupled from
+//     durable notification: logs are batched and flushed in GCP epochs;
+//     committed-but-not-yet-durable transactions are indistinguishable from
+//     durable ones to the CC mechanisms, so durability never blocks
+//     concurrency control.
+//   - Recovery retrieves the logs, discards transactions with missing
+//     precommit records or with an epoch beyond a server's durable
+//     frontier, and reconstructs the latest committed version of every key;
+//     CC-internal state is rebuilt implicitly (the fresh CC tree treats
+//     recovered data as committed history).
+//
+// Persistence is outsourced to internal/kvstore through a key-value
+// interface, as the paper outsources it to Redis/RocksDB.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// Options configure the durability module.
+type Options struct {
+	// Dir is the directory holding per-data-server log stores.
+	Dir string
+	// Shards is the number of data servers.
+	Shards int
+	// EpochInterval is the GCP epoch length (the paper uses 1s; tests and
+	// benchmarks use shorter epochs).
+	EpochInterval time.Duration
+	// SyncCommit forces a flush before commit returns (durability
+	// notification == commit notification). Default is asynchronous
+	// flushing.
+	SyncCommit bool
+}
+
+// KV is one logged write.
+type KV struct {
+	Key   core.Key
+	Value []byte
+}
+
+// Manager is the durability module.
+type Manager struct {
+	opts   Options
+	stores []*kvstore.Store
+	seq    atomic.Uint64
+	epoch  atomic.Uint64
+
+	mu           sync.Mutex
+	durableEpoch uint64
+	durableCond  *sync.Cond
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open creates or reopens the durability module.
+func Open(opts Options) (*Manager, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.EpochInterval <= 0 {
+		opts.EpochInterval = time.Second
+	}
+	m := &Manager{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	m.durableCond = sync.NewCond(&m.mu)
+	for i := 0; i < opts.Shards; i++ {
+		st, err := kvstore.Open(filepath.Join(opts.Dir, fmt.Sprintf("ds-%03d.log", i)))
+		if err != nil {
+			for _, s := range m.stores {
+				s.Close()
+			}
+			return nil, err
+		}
+		m.stores = append(m.stores, st)
+	}
+	m.epoch.Store(1)
+	go m.flusher()
+	return m, nil
+}
+
+// Epoch returns the current GCP epoch id.
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// DurableEpoch returns the newest fully persisted epoch.
+func (m *Manager) DurableEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durableEpoch
+}
+
+// Precommit appends a precommit record on every participating data server
+// and returns the transaction's global epoch id (max of participant epochs —
+// with one process-wide epoch counter they coincide). writesByShard maps
+// data server index -> the transaction's writes owned by that server.
+func (m *Manager) Precommit(txnID uint64, writesByShard map[int][]KV) (uint64, error) {
+	epoch := m.epoch.Load()
+	n := len(writesByShard)
+	for shard, kvs := range writesByShard {
+		rec := encodePrecommit(txnID, epoch, n, kvs)
+		key := fmt.Sprintf("p/%d/%d", txnID, shard)
+		if err := m.stores[shard].Set(key, rec); err != nil {
+			return 0, err
+		}
+	}
+	return epoch, nil
+}
+
+// Commit appends the coordinator's commit record (each transaction's
+// coordinator log lives on the data server picked by its id, spreading the
+// append load). With SyncCommit it blocks until the record is durable.
+func (m *Manager) Commit(txnID, commitTS, epoch uint64) error {
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint64(rec[0:8], commitTS)
+	binary.LittleEndian.PutUint64(rec[8:16], epoch)
+	shard := int(txnID) % len(m.stores)
+	if err := m.stores[shard].Set(fmt.Sprintf("c/%d", txnID), rec); err != nil {
+		return err
+	}
+	if m.opts.SyncCommit {
+		return m.flushEpoch()
+	}
+	return nil
+}
+
+// WaitDurable blocks until epoch is fully persisted (the durable
+// notification of §4.5.4).
+func (m *Manager) WaitDurable(epoch uint64) {
+	m.mu.Lock()
+	for m.durableEpoch < epoch {
+		m.durableCond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// flusher advances GCP epochs: flush + fsync all stores, persist the epoch
+// marker, publish the durable frontier.
+func (m *Manager) flusher() {
+	defer close(m.done)
+	t := time.NewTicker(m.opts.EpochInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			m.flushEpoch()
+			return
+		case <-t.C:
+			m.flushEpoch()
+		}
+	}
+}
+
+func (m *Manager) flushEpoch() error {
+	cur := m.epoch.Add(1) - 1 // seal epoch `cur`, open the next
+	for i, st := range m.stores {
+		if err := st.Sync(); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], cur)
+		if err := st.Set(fmt.Sprintf("e/%d", i), buf[:]); err != nil {
+			return err
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	if cur > m.durableEpoch {
+		m.durableEpoch = cur
+	}
+	m.durableCond.Broadcast()
+	m.mu.Unlock()
+	return nil
+}
+
+// Close flushes outstanding records and closes the stores.
+func (m *Manager) Close() error {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	var first error
+	for _, st := range m.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func encodePrecommit(txnID, epoch uint64, nShards int, kvs []KV) []byte {
+	size := 8 + 8 + 4 + 4
+	for _, kv := range kvs {
+		size += 4 + len(kv.Key.Table) + 4 + len(kv.Key.Row) + 4 + len(kv.Value)
+	}
+	buf := make([]byte, 0, size)
+	var u64 [8]byte
+	var u32 [4]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	putBytes := func(b []byte) {
+		put32(uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	put64(txnID)
+	put64(epoch)
+	put32(uint32(nShards))
+	put32(uint32(len(kvs)))
+	for _, kv := range kvs {
+		putBytes([]byte(kv.Key.Table))
+		putBytes([]byte(kv.Key.Row))
+		putBytes(kv.Value)
+	}
+	return buf
+}
+
+type precommit struct {
+	txnID   uint64
+	epoch   uint64
+	nShards int
+	writes  []KV
+}
+
+func decodePrecommit(buf []byte) (*precommit, error) {
+	p := &precommit{}
+	off := 0
+	get64 := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, true
+	}
+	get32 := func() (uint32, bool) {
+		if off+4 > len(buf) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, true
+	}
+	getBytes := func() ([]byte, bool) {
+		n, ok := get32()
+		if !ok || off+int(n) > len(buf) {
+			return nil, false
+		}
+		b := buf[off : off+int(n)]
+		off += int(n)
+		return b, true
+	}
+	var ok bool
+	if p.txnID, ok = get64(); !ok {
+		return nil, fmt.Errorf("wal: truncated precommit")
+	}
+	if p.epoch, ok = get64(); !ok {
+		return nil, fmt.Errorf("wal: truncated precommit")
+	}
+	ns, ok := get32()
+	if !ok {
+		return nil, fmt.Errorf("wal: truncated precommit")
+	}
+	p.nShards = int(ns)
+	nw, ok := get32()
+	if !ok {
+		return nil, fmt.Errorf("wal: truncated precommit")
+	}
+	for i := 0; i < int(nw); i++ {
+		tbl, ok1 := getBytes()
+		row, ok2 := getBytes()
+		val, ok3 := getBytes()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("wal: truncated precommit write")
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		p.writes = append(p.writes, KV{Key: core.Key{Table: string(tbl), Row: string(row)}, Value: v})
+	}
+	return p, nil
+}

@@ -1,0 +1,171 @@
+package tebaldi_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/tebaldi"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func specs() []*tebaldi.Spec {
+	return []*tebaldi.Spec{
+		{Name: "put", Tables: []string{"kv"}, WriteTables: []string{"kv"}},
+		{Name: "get", ReadOnly: true, Tables: []string{"kv"}},
+	}
+}
+
+func TestInitialConfigShape(t *testing.T) {
+	cfg := tebaldi.InitialConfig(specs())
+	want := "ssi[ none{get} 2pl{put} ]"
+	if got := cfg.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestOpenNilConfigUsesInitial(t *testing.T) {
+	db, err := tebaldi.Open(tebaldi.Options{}, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.ConfigString(); got != "SSI[ NoCC{get} 2PL{put} ]" {
+		t.Fatalf("live tree %q", got)
+	}
+	if err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(tebaldi.K("kv", "a"), u64(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := db.Run("get", 0, func(tx *tebaldi.Tx) error {
+		v, err := tx.Read(tebaldi.K("kv", "a"))
+		if err != nil {
+			return err
+		}
+		got = binary.LittleEndian.Uint64(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("read %d", got)
+	}
+}
+
+// TestDurabilityRecoverRoundTrip is the facade-level crash/recovery test:
+// everything durable must survive; the recovered DB must be writable.
+func TestDurabilityRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := tebaldi.Options{DurabilityDir: dir, GCPEpoch: 10 * time.Millisecond}
+	db, err := tebaldi.Open(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		if err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+			return tx.Write(tebaldi.KeyOf("kv", i), u64(uint64(i)*7))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := db.Engine().Wal().Epoch()
+	db.Engine().Wal().WaitDurable(epoch)
+	db.Close() // "crash": discard all in-memory state
+
+	db2, state, err := tebaldi.Recover(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if state.Committed != n {
+		t.Fatalf("recovered %d committed, want %d (discarded %d)",
+			state.Committed, n, state.Discarded)
+	}
+	for i := 0; i < n; i++ {
+		v := db2.ReadCommitted(tebaldi.KeyOf("kv", i))
+		if binary.LittleEndian.Uint64(v) != uint64(i)*7 {
+			t.Fatalf("key %d lost or corrupt", i)
+		}
+	}
+	// The recovered database accepts new transactions and overwrites
+	// recovered state correctly.
+	if err := db2.Run("put", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(tebaldi.KeyOf("kv", 0), u64(999))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(db2.ReadCommitted(tebaldi.KeyOf("kv", 0))); got != 999 {
+		t.Fatalf("post-recovery write lost: %d", got)
+	}
+}
+
+func TestRecoverDropsNonDurableTail(t *testing.T) {
+	dir := t.TempDir()
+	// Very long epochs: nothing flushes unless we say so.
+	opts := tebaldi.Options{DurabilityDir: dir, GCPEpoch: time.Hour}
+	db, err := tebaldi.Open(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		i := i
+		if err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+			return tx.Write(tebaldi.KeyOf("kv", i), u64(1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash without flushing: the epoch never sealed, so per the GCP rule
+	// these commits may be lost — but recovery must still succeed.
+	db.Close() // Close flushes one final epoch; simulate harder crashes at the kvstore level in internal/wal tests.
+	db2, state, err := tebaldi.Recover(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if state.Committed+state.Discarded == 0 {
+		t.Fatal("no transactions seen in the log")
+	}
+}
+
+func TestGCPrunesOldVersions(t *testing.T) {
+	db, err := tebaldi.Open(tebaldi.Options{GCInterval: 10 * time.Millisecond}, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	k := tebaldi.K("kv", "hot")
+	for i := 0; i < 200; i++ {
+		i := i
+		if err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+			return tx.Write(k, u64(uint64(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let GC run while idle
+	if n := db.Engine().Store().Lookup(k).Len(); n > 5 {
+		t.Fatalf("chain not pruned: %d versions", n)
+	}
+	if got := binary.LittleEndian.Uint64(db.ReadCommitted(k)); got != 199 {
+		t.Fatalf("latest value %d", got)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if !tebaldi.IsRetryable(tebaldi.ErrAborted) {
+		t.Fatal("ErrAborted should be retryable")
+	}
+	if tebaldi.IsRetryable(tebaldi.ErrUserAbort) {
+		t.Fatal("user abort should not be retryable")
+	}
+}

@@ -1,0 +1,76 @@
+package micro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/tebaldi"
+)
+
+func TestCrossGroupRuns(t *testing.T) {
+	for _, ro := range []bool{false, true} {
+		for _, cross := range []tebaldi.Kind{tebaldi.TwoPL, tebaldi.SSI, tebaldi.RP} {
+			cg := CrossGroup{SharedRows: 20, ReadOnlyT1: ro}
+			db, err := tebaldi.Open(tebaldi.Options{Shards: 4, LockTimeout: 2 * time.Second},
+				cg.Specs(), cg.Config(cross))
+			if err != nil {
+				t.Fatalf("ro=%v cross=%s: %v", ro, cross, err)
+			}
+			cg.Load(db)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 30; i++ {
+				op := cg.Mix(rng)
+				if err := db.Run(op.Type, op.Part, op.Fn); err != nil {
+					t.Fatalf("ro=%v cross=%s: %v", ro, cross, err)
+				}
+			}
+			if db.Stats().Snapshot().Commits == 0 {
+				t.Fatal("nothing committed")
+			}
+			db.Close()
+		}
+	}
+}
+
+func TestOverheadKeysNeverConflict(t *testing.T) {
+	ov := &Overhead{}
+	rng := rand.New(rand.NewSource(1))
+	for name, cfg := range ov.Configs() {
+		db, err := tebaldi.Open(tebaldi.Options{Shards: 4}, ov.Specs(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 20; i++ {
+			op := ov.Next(rng)
+			if err := db.Run(op.Type, op.Part, op.Fn); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		snap := db.Stats().Snapshot()
+		if snap.Aborts != 0 {
+			t.Fatalf("%s: conflict-free workload aborted %d times", name, snap.Aborts)
+		}
+		db.Close()
+	}
+}
+
+func TestThreeLayerConfigsRun(t *testing.T) {
+	tl := ThreeLayer{}
+	for name, cfg := range tl.Configs() {
+		db, err := tebaldi.Open(tebaldi.Options{Shards: 4, LockTimeout: 2 * time.Second},
+			tl.Specs(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tl.Load(db)
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 30; i++ {
+			op := tl.Mix(rng)
+			if err := db.Run(op.Type, op.Part, op.Fn); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		db.Close()
+	}
+}
