@@ -18,6 +18,7 @@ import (
 	"repro/workload/micro"
 	"repro/workload/seats"
 	"repro/workload/tpcc"
+	"repro/workload/ycsb"
 )
 
 func benchOptions() tebaldi.Options {
@@ -246,6 +247,61 @@ func BenchmarkTable42_Durability(b *testing.B) {
 				op := c.Mix(rng)
 				return op.Type, op.Part, op.Fn
 			})
+		})
+	}
+}
+
+func ycsbBench(b *testing.B, w ycsb.Workload, opts tebaldi.Options) {
+	c := ycsb.New(w)
+	db, err := tebaldi.Open(opts, w.Specs(), w.Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c.Load(db)
+	runParallel(b, db, func(rng *rand.Rand) (string, uint64, func(*tebaldi.Tx) error) {
+		op := c.Mix(rng)
+		return op.Type, op.Part, op.Fn
+	})
+}
+
+// BenchmarkYCSB — the YCSB core mixes (A update-heavy, B read-heavy,
+// C read-only) without durability: the CC-side cost of the workload.
+func BenchmarkYCSB(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		w    ycsb.Workload
+	}{
+		{"A", ycsb.A()}, {"B", ycsb.B()}, {"C", ycsb.C()},
+	} {
+		b.Run(m.name, func(b *testing.B) { ycsbBench(b, m.w, benchOptions()) })
+	}
+}
+
+// BenchmarkYCSB_Durability — YCSB-A under the durability module: the
+// group-commit pipeline measured where it matters (write-heavy, every
+// committer reaches the log). SyncCommit couples commit notification to
+// the flush (the paper's synchronous baseline); Async decouples them via
+// GCP epochs (§4.5.4).
+func BenchmarkYCSB_Durability(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		sync bool
+	}{
+		{"SyncCommit", true},
+		{"Async", false},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			opts := benchOptions()
+			dir, err := os.MkdirTemp("", "tebaldi-ycsb-wal-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			opts.DurabilityDir = dir
+			opts.DurabilitySync = m.sync
+			opts.GCPEpoch = 100 * time.Millisecond
+			ycsbBench(b, ycsb.A(), opts)
 		})
 	}
 }

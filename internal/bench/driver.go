@@ -37,6 +37,11 @@ type Result struct {
 	Throughput  float64 // committed txn/sec
 	AbortRate   float64
 	MeanLatency map[string]time.Duration // per transaction type
+	// WAL group-commit pipeline counters over the window (zero when
+	// durability is off).
+	WalBatches   uint64
+	WalMeanBatch float64       // mean records coalesced per flush
+	WalMeanFlush time.Duration // mean append+flush latency
 }
 
 // String renders a one-line summary.
@@ -112,13 +117,16 @@ func Drive(db *tebaldi.DB, gen Gen, clients int, warmup, measure time.Duration) 
 	stopAndJoin()
 
 	res := Result{
-		Clients:     clients,
-		Duration:    w.Duration,
-		Commits:     w.Commits,
-		Aborts:      w.Aborts,
-		Throughput:  w.Throughput,
-		AbortRate:   w.AbortRate,
-		MeanLatency: map[string]time.Duration{},
+		Clients:      clients,
+		Duration:     w.Duration,
+		Commits:      w.Commits,
+		Aborts:       w.Aborts,
+		Throughput:   w.Throughput,
+		AbortRate:    w.AbortRate,
+		MeanLatency:  map[string]time.Duration{},
+		WalBatches:   w.WalBatches,
+		WalMeanBatch: w.WalMeanBatch,
+		WalMeanFlush: w.WalMeanFlush,
 	}
 	for typ, wt := range w.PerType {
 		res.MeanLatency[typ] = wt.MeanLatency

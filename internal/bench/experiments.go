@@ -13,6 +13,7 @@ import (
 	"repro/workload/micro"
 	"repro/workload/seats"
 	"repro/workload/tpcc"
+	"repro/workload/ycsb"
 )
 
 // Params configure an experiment run.
@@ -642,5 +643,78 @@ func Table52(p Params) error {
 		rows = append(rows, [2]string{cf.name, res.String()})
 	}
 	table(w, "measured:", rows)
+	return nil
+}
+
+// YCSB runs the YCSB core mixes (A update-heavy, B read-heavy, C read-only;
+// zipfian) — the write-heavy scenario the paper's TPC-C/SEATS evaluation
+// lacks — and measures the durability module's group-commit pipeline on
+// YCSB-A: in-memory vs asynchronous GCP flushing vs synchronous group
+// commit, reporting the pipeline's batch-size and flush-latency counters.
+func YCSB(p Params) error {
+	w := p.out()
+	warmup, measure := p.windows()
+	clients := p.fixedClients()
+	fmt.Fprintf(w, "YCSB — core mixes and group-commit durability (not in the paper)\n")
+
+	ycsbGen := func(c *ycsb.Client) Gen {
+		return func(rng *rand.Rand) Op {
+			op := c.Mix(rng)
+			return Op{Type: op.Type, Part: op.Part, Fn: op.Fn}
+		}
+	}
+
+	var rows [][2]string
+	for _, m := range []struct {
+		name string
+		w    ycsb.Workload
+	}{
+		{"YCSB-A (50/50)", ycsb.A()},
+		{"YCSB-B (95/5)", ycsb.B()},
+		{"YCSB-C (read-only)", ycsb.C()},
+	} {
+		c := ycsb.New(m.w)
+		db, err := tebaldi.Open(dbOptions(), m.w.Specs(), m.w.Config())
+		if err != nil {
+			return err
+		}
+		c.Load(db)
+		res := Drive(db, ycsbGen(c), clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{m.name, res.String()})
+	}
+	table(w, "measured (in-memory):", rows)
+
+	rows = rows[:0]
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{
+		{"async GCP flushing", false},
+		{"sync group commit", true},
+	} {
+		dir, err := os.MkdirTemp("", "tebaldi-ycsb-wal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts := dbOptions()
+		opts.DurabilityDir = dir
+		opts.DurabilitySync = mode.sync
+		opts.GCPEpoch = 100 * time.Millisecond
+		wl := ycsb.A()
+		c := ycsb.New(wl)
+		db, err := tebaldi.Open(opts, wl.Specs(), wl.Config())
+		if err != nil {
+			return err
+		}
+		c.Load(db)
+		res := Drive(db, ycsbGen(c), clients, warmup, measure)
+		db.Close()
+		rows = append(rows, [2]string{"YCSB-A, " + mode.name,
+			fmt.Sprintf("%9.0f txn/s  abort %5.1f%%  batch %5.1f rec  flush %s",
+				res.Throughput, 100*res.AbortRate, res.WalMeanBatch, res.WalMeanFlush)})
+	}
+	table(w, "measured (durability, group-commit pipeline):", rows)
 	return nil
 }

@@ -1,0 +1,213 @@
+// Tests for the SSI mechanism, driven through the public API (an external
+// test package may import repro/tebaldi even though tebaldi transitively
+// imports this package — only the test binary sees the cycle).
+package ssi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/tebaldi"
+)
+
+func openSSI(t *testing.T) *tebaldi.DB {
+	t.Helper()
+	specs := []*tebaldi.Spec{
+		{Name: "w", Tables: []string{"t"}, WriteTables: []string{"t"}},
+	}
+	db, err := tebaldi.Open(tebaldi.Options{Shards: 4, LockTimeout: 2 * time.Second},
+		specs, tebaldi.Leaf(tebaldi.SSI, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestSnapshotIsolationRead: a transaction reads from its begin snapshot —
+// a write committed after its begin is invisible to it.
+func TestSnapshotIsolationRead(t *testing.T) {
+	db := openSSI(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	reader, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit a newer version after the reader's snapshot was taken.
+	if err := db.Run("w", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(tebaldi.K("t", "unrelated"), []byte("warm"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("w", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(k, []byte("new"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reader.Read(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "old" {
+		t.Fatalf("snapshot read saw %q, want \"old\"", v)
+	}
+	// Read-only snapshot use commits fine (no dangerous structure).
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFirstUpdaterWins: two concurrent writers of the same key — the second
+// write aborts with a retryable conflict at install time.
+func TestFirstUpdaterWins(t *testing.T) {
+	db := openSSI(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("0"))
+
+	t1, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(k, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	err = t2.Write(k, []byte("2"))
+	if err == nil {
+		t.Fatal("second concurrent writer succeeded")
+	}
+	if !tebaldi.IsRetryable(err) {
+		t.Fatalf("write-write conflict not retryable: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteAfterCommittedSnapshotConflict: a writer whose snapshot predates
+// a committed version of the key aborts (lost-update prevention).
+func TestWriteAfterCommittedSnapshotConflict(t *testing.T) {
+	db := openSSI(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("0"))
+
+	stale, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("w", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(k, []byte("1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Write(k, []byte("2")); err == nil {
+		t.Fatal("stale writer overwrote a version committed after its snapshot")
+	} else if !tebaldi.IsRetryable(err) {
+		t.Fatalf("not retryable: %v", err)
+	}
+}
+
+// TestPivotAborted: the dangerous structure of §4.4.3 — a transaction with
+// both an incoming and an outgoing rw anti-dependency — is broken by a
+// retryable abort. T3 -rw-> T2 (T3 read Y that T2 writes) gives T2 an
+// in-edge; T2's snapshot missing T1's committed write of X gives T2 an
+// out-edge; T2 becomes a pivot.
+func TestPivotAborted(t *testing.T) {
+	db := openSSI(t)
+	x, y := tebaldi.K("t", "x"), tebaldi.K("t", "y")
+	db.Load(x, []byte("0"))
+	db.Load(y, []byte("0"))
+
+	t2, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(y, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// T3 reads Y, anti-depending on T2's pending write: T2 gains in.
+	t3, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t3.Read(y); err != nil {
+		t.Fatal(err)
+	}
+	// T1 writes X and commits: T2's snapshot misses it.
+	if err := db.Run("w", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(x, []byte("1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// T2 reads X: out-edge to committed T1 completes the pivot.
+	_, rerr := t2.Read(x)
+	cerr := error(nil)
+	if rerr == nil {
+		cerr = t2.Commit()
+	}
+	if rerr == nil && cerr == nil {
+		t.Fatal("pivot committed: dangerous structure left intact")
+	}
+	for _, err := range []error{rerr, cerr} {
+		if err != nil && !tebaldi.IsRetryable(err) {
+			t.Fatalf("pivot abort not retryable: %v", err)
+		}
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizedModeReadOnlyUpdateSplit: the §5.2 initial configuration (SSI
+// root over a no-CC read-only group and a 2PL update group) runs in
+// optimized mode: read-only transactions see a stable snapshot while
+// updates read latest-committed and never false-abort.
+func TestOptimizedModeReadOnlyUpdateSplit(t *testing.T) {
+	specs := []*tebaldi.Spec{
+		{Name: "audit", ReadOnly: true, Tables: []string{"t"}},
+		{Name: "upd", Tables: []string{"t"}, WriteTables: []string{"t"}},
+	}
+	db, err := tebaldi.Open(tebaldi.Options{Shards: 4, LockTimeout: 2 * time.Second},
+		specs, nil) // nil config = InitialConfig = SSI(None(audit), 2PL(upd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("0"))
+
+	audit, err := db.Begin("audit", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("upd", 0, func(tx *tebaldi.Tx) error {
+		return tx.Write(k, []byte("1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The read-only transaction keeps its snapshot...
+	if v, err := audit.Read(k); err != nil || string(v) != "0" {
+		t.Fatalf("audit read %q/%v, want \"0\"", v, err)
+	}
+	if err := audit.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// ...while a fresh update sees latest-committed.
+	if err := db.Run("upd", 0, func(tx *tebaldi.Tx) error {
+		v, err := tx.Read(k)
+		if err != nil {
+			return err
+		}
+		if string(v) != "1" {
+			t.Fatalf("update read %q, want \"1\"", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Tests for the TSO mechanism, driven through the public API (an external
+// test package may import repro/tebaldi even though tebaldi transitively
+// imports this package — only the test binary sees the cycle).
+package tso_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/tebaldi"
+)
+
+func openTSO(t *testing.T) *tebaldi.DB {
+	t.Helper()
+	specs := []*tebaldi.Spec{
+		{Name: "w", Tables: []string{"t"}, WriteTables: []string{"t"}},
+	}
+	db, err := tebaldi.Open(tebaldi.Options{Shards: 4, LockTimeout: 2 * time.Second},
+		specs, tebaldi.Leaf(tebaldi.TSO, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestPipelinedReadOfUncommittedWrite: TSO exposes uncommitted writes — a
+// later-timestamped reader sees an earlier transaction's pending value, and
+// its commit waits for the writer (write-read dependency).
+func TestPipelinedReadOfUncommittedWrite(t *testing.T) {
+	db := openTSO(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	t1, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(k, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := db.Begin("w", 0) // later timestamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := t2.Read(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "new" {
+		t.Fatalf("pipelined read saw %q, want uncommitted \"new\"", v)
+	}
+	// t2's commit must wait for t1 (consistent ordering).
+	done := make(chan error, 1)
+	go func() { done <- t2.Commit() }()
+	select {
+	case err := <-done:
+		t.Fatalf("dependent committed before its writer: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimestampOrderExcludesLaterWrites: a reader never sees a version
+// written by a LARGER timestamp, committed or not — the serialization order
+// is timestamp order.
+func TestTimestampOrderExcludesLaterWrites(t *testing.T) {
+	db := openTSO(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	early, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Write(k, []byte("future")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := early.Read(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "old" {
+		t.Fatalf("early reader saw %q, want \"old\"", v)
+	}
+	if err := early.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadTimestampRule: once a later-timestamped reader has read a
+// version, an earlier-timestamped writer of the same key arrives too late
+// and aborts (it would invalidate the read).
+func TestReadTimestampRule(t *testing.T) {
+	db := openTSO(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	writer, err := db.Begin("w", 0) // smaller timestamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := db.Begin("w", 0) // larger timestamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Read(k); err != nil {
+		t.Fatal(err)
+	}
+	err = writer.Write(k, []byte("late"))
+	if err == nil {
+		t.Fatal("late write slotted in under an already-served read")
+	}
+	if !tebaldi.IsRetryable(err) {
+		t.Fatalf("read-timestamp abort not retryable: %v", err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromiseBlocksReaderUntilFulfilled: a declared write (§4.4.4)
+// installs a placeholder; a later reader blocks on it instead of aborting
+// the writer, and wakes with the fulfilled value.
+func TestPromiseBlocksReaderUntilFulfilled(t *testing.T) {
+	db := openTSO(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	writer, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Promise(k); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	errc := make(chan error, 1)
+	go func() {
+		v, err := reader.Read(k)
+		errc <- err
+		got <- v
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("reader did not block on the promise (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := writer.Write(k, []byte("fulfilled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; string(v) != "fulfilled" {
+		t.Fatalf("reader woke with %q, want \"fulfilled\"", v)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnfulfilledPromiseRemovedOnAbort: aborting a promising transaction
+// removes the placeholder so readers fall back to the committed version.
+func TestUnfulfilledPromiseRemovedOnAbort(t *testing.T) {
+	db := openTSO(t)
+	k := tebaldi.K("t", "x")
+	db.Load(k, []byte("old"))
+
+	writer, err := db.Begin("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Promise(k); err != nil {
+		t.Fatal(err)
+	}
+	writer.Rollback(nil)
+
+	if err := db.Run("w", 0, func(tx *tebaldi.Tx) error {
+		v, err := tx.Read(k)
+		if err != nil {
+			return err
+		}
+		if string(v) != "old" {
+			t.Fatalf("read %q after promise abort, want \"old\"", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

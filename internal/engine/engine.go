@@ -111,6 +111,7 @@ func New(opts Options, specs []*core.Spec, config *NodeSpec) (*Engine, error) {
 			Shards:        e.opts.Shards,
 			EpochInterval: e.opts.GCPEpoch,
 			SyncCommit:    e.opts.DurabilitySync,
+			Observer:      e.stats.recordWalBatch,
 		})
 		if err != nil {
 			return nil, err

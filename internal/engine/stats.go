@@ -21,6 +21,13 @@ type Stats struct {
 	abortUser     atomic.Uint64
 	walErrors     atomic.Uint64
 
+	// Group-commit pipeline counters (fed by the WAL batch observer):
+	// batches flushed, records coalesced into them, and cumulative
+	// append+flush latency.
+	walBatches      atomic.Uint64
+	walBatchRecords atomic.Uint64
+	walFlushNs      atomic.Uint64
+
 	mu      sync.Mutex
 	perType map[string]*TypeStats
 }
@@ -70,6 +77,17 @@ func (s *Stats) recordAbort(t *core.Txn, cause error) {
 	}
 }
 
+// recordWalBatch is the WAL group-commit observer: one coalesced batch of
+// `records` log records was appended (and flushed, under SyncCommit) in d.
+func (s *Stats) recordWalBatch(records int, d time.Duration, err error) {
+	s.walBatches.Add(1)
+	s.walBatchRecords.Add(uint64(records))
+	s.walFlushNs.Add(uint64(d.Nanoseconds()))
+	if err != nil {
+		s.walErrors.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	At            time.Time
@@ -79,7 +97,12 @@ type Snapshot struct {
 	AbortConflict uint64
 	AbortPivot    uint64
 	AbortCascade  uint64
-	PerType       map[string]TypeSnapshot
+	// WAL group-commit pipeline counters (zero when durability is off).
+	WalBatches      uint64
+	WalBatchRecords uint64
+	WalFlushNs      uint64
+	WalErrors       uint64
+	PerType         map[string]TypeSnapshot
 }
 
 // TypeSnapshot is the per-type portion of a Snapshot.
@@ -92,14 +115,18 @@ type TypeSnapshot struct {
 // Snapshot captures the current counters.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
-		At:            time.Now(),
-		Commits:       s.commits.Load(),
-		Aborts:        s.aborts.Load(),
-		AbortTimeout:  s.abortTimeout.Load(),
-		AbortConflict: s.abortConflict.Load(),
-		AbortPivot:    s.abortPivot.Load(),
-		AbortCascade:  s.abortCascade.Load(),
-		PerType:       map[string]TypeSnapshot{},
+		At:              time.Now(),
+		Commits:         s.commits.Load(),
+		Aborts:          s.aborts.Load(),
+		AbortTimeout:    s.abortTimeout.Load(),
+		AbortConflict:   s.abortConflict.Load(),
+		AbortPivot:      s.abortPivot.Load(),
+		AbortCascade:    s.abortCascade.Load(),
+		WalBatches:      s.walBatches.Load(),
+		WalBatchRecords: s.walBatchRecords.Load(),
+		WalFlushNs:      s.walFlushNs.Load(),
+		WalErrors:       s.walErrors.Load(),
+		PerType:         map[string]TypeSnapshot{},
 	}
 	s.mu.Lock()
 	for typ, ts := range s.perType {
@@ -120,7 +147,14 @@ type Window struct {
 	Aborts     uint64
 	Throughput float64 // committed txn/sec
 	AbortRate  float64 // aborts / (commits+aborts)
-	PerType    map[string]WindowType
+	// WalBatches is the number of group-commit batches flushed in the
+	// window; WalMeanBatch is the mean records coalesced per batch and
+	// WalMeanFlush the mean append+flush latency (both zero when
+	// durability is off or no batch flushed).
+	WalBatches   uint64
+	WalMeanBatch float64
+	WalMeanFlush time.Duration
+	PerType      map[string]WindowType
 }
 
 // WindowType is the per-type portion of a Window.
@@ -148,6 +182,11 @@ func (s *Stats) Since(prev Snapshot) Window {
 	w.Throughput = float64(w.Commits) / d.Seconds()
 	if total := w.Commits + w.Aborts; total > 0 {
 		w.AbortRate = float64(w.Aborts) / float64(total)
+	}
+	w.WalBatches = cur.WalBatches - prev.WalBatches
+	if w.WalBatches > 0 {
+		w.WalMeanBatch = float64(cur.WalBatchRecords-prev.WalBatchRecords) / float64(w.WalBatches)
+		w.WalMeanFlush = time.Duration((cur.WalFlushNs - prev.WalFlushNs) / w.WalBatches)
 	}
 	for typ, c := range cur.PerType {
 		p := prev.PerType[typ]

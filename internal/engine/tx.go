@@ -215,9 +215,15 @@ func (tx *Tx) Commit() error {
 		}
 	}
 
-	// Durability: persist precommit records on every participating data
-	// server, then the coordinator's commit record (§4.5.4).
+	// Durability: stage precommit records on every participating data
+	// server's group-commit appender, then the coordinator's commit
+	// record (§4.5.4). Staging is asynchronous — records from concurrent
+	// committers coalesce into one append+flush per appender turn — so
+	// the log never serializes the commit path; under SyncCommit the
+	// wait happens inside walMgr.Commit, on the whole batch's single
+	// fsync.
 	var epoch uint64
+	var ticket *wal.Ticket
 	if tx.e.walMgr != nil {
 		byShard := map[int][]wal.KV{}
 		for _, w := range t.Writes() {
@@ -226,7 +232,7 @@ func (tx *Tx) Commit() error {
 		}
 		if len(byShard) > 0 {
 			var err error
-			epoch, err = tx.e.walMgr.Precommit(t.ID, byShard)
+			epoch, ticket, err = tx.e.walMgr.Precommit(t.ID, byShard)
 			if err != nil {
 				return tx.abortWith(fmt.Errorf("%w: wal: %v", core.ErrAborted, err))
 			}
@@ -238,13 +244,13 @@ func (tx *Tx) Commit() error {
 		// Force-aborted while committing.
 		return tx.abortWith(core.ErrReconfiguring)
 	}
-	if tx.e.walMgr != nil && len(t.Writes()) > 0 {
-		if err := tx.e.walMgr.Commit(t.ID, commitTS, epoch); err != nil {
-			// The transaction is already committed in memory; a
-			// commit-record write failure means durability (not
-			// atomicity) is at risk. Surface loudly.
-			tx.e.stats.walErrors.Add(1)
-		}
+	if ticket != nil {
+		// The transaction is already committed in memory; an append
+		// failure means durability (not atomicity) is at risk. The WAL
+		// batch observer counts every failed flush exactly once into
+		// stats.walErrors — counting again here would tally one batch
+		// error once per coalesced committer.
+		tx.e.walMgr.Commit(t.ID, commitTS, epoch, ticket)
 	}
 
 	// Commit phase, chained leaf -> root, uninterrupted.
@@ -252,6 +258,19 @@ func (tx *Tx) Commit() error {
 		t.Path[i].CC.Commit(t)
 	}
 	tx.e.unregister(t)
+
+	// Synchronous durability: block until the group-commit batch holding
+	// this transaction's records is flushed — AFTER the CC tree released
+	// its state, so the log wait never throttles concurrency control
+	// (committed-but-not-yet-durable transactions are indistinguishable
+	// from durable ones to the CC mechanisms, §4.5.4). Only the client's
+	// commit notification is delayed to coincide with the durable
+	// notification.
+	if ticket != nil && tx.e.walMgr.Synchronous() {
+		// Flush failures are already in stats.walErrors via the batch
+		// observer; the in-memory commit stands either way.
+		ticket.Wait()
+	}
 	tx.e.stats.recordCommit(t)
 	tx.finished = true
 	return nil

@@ -72,32 +72,61 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 		if b := st.Get(fmt.Sprintf("e/%d", i)); len(b) == 8 {
 			frontier = binary.LittleEndian.Uint64(b)
 		}
+		applyPrecommit := func(value []byte) {
+			p, err := decodePrecommit(value)
+			if err != nil {
+				return // torn record: skip
+			}
+			t := get(p.txnID)
+			t.precommits++
+			t.nShards = p.nShards
+			t.writes = append(t.writes, p.writes...)
+			if p.epoch > frontier {
+				t.epochOK = false
+			}
+		}
+		applyCommit := func(id, commitTS, epoch uint64) {
+			t := get(id)
+			t.commitTS = commitTS
+			if epoch > frontier {
+				t.epochOK = false
+			} else {
+				t.committed = true
+			}
+		}
 		err = st.ForEach(func(key string, value []byte) error {
 			switch {
-			case strings.HasPrefix(key, "p/"):
-				p, err := decodePrecommit(value)
+			case strings.HasPrefix(key, "b/"):
+				// Coalesced group-commit batch: replay each entry
+				// as an individual record.
+				entries, err := decodeBatch(value)
 				if err != nil {
-					return nil // torn record: skip
+					return nil // torn batch: skip
 				}
-				t := get(p.txnID)
-				t.precommits++
-				t.nShards = p.nShards
-				t.writes = append(t.writes, p.writes...)
-				if p.epoch > frontier {
-					t.epochOK = false
+				for _, e := range entries {
+					switch e.kind {
+					case recPrecommit:
+						applyPrecommit(e.payload)
+					case recCommit:
+						if len(e.payload) < 24 {
+							continue
+						}
+						applyCommit(
+							binary.LittleEndian.Uint64(e.payload[0:8]),
+							binary.LittleEndian.Uint64(e.payload[8:16]),
+							binary.LittleEndian.Uint64(e.payload[16:24]))
+					}
 				}
+			case strings.HasPrefix(key, "p/"):
+				applyPrecommit(value)
 			case strings.HasPrefix(key, "c/"):
 				id, err := strconv.ParseUint(key[2:], 10, 64)
 				if err != nil || len(value) < 16 {
 					return nil
 				}
-				t := get(id)
-				t.commitTS = binary.LittleEndian.Uint64(value[0:8])
-				if epoch := binary.LittleEndian.Uint64(value[8:16]); epoch > frontier {
-					t.epochOK = false
-				} else {
-					t.committed = true
-				}
+				applyCommit(id,
+					binary.LittleEndian.Uint64(value[0:8]),
+					binary.LittleEndian.Uint64(value[8:16]))
 			}
 			return nil
 		})

@@ -15,7 +15,14 @@
 //     committed-but-not-yet-durable transactions are indistinguishable from
 //     durable ones to the CC mechanisms, so durability never blocks
 //     concurrency control.
-//   - Recovery retrieves the logs, discards transactions with missing
+//   - Appends go through a per-data-server group-commit pipeline
+//     (group.go): concurrent committers' precommit and commit records are
+//     coalesced into one batch record per appender turn, written with a
+//     single Set and — under SyncCommit — a single fsync shared by every
+//     committer in the batch, so the log never throttles concurrency
+//     control even when commit notification is coupled to durability.
+//   - Recovery retrieves the logs, replays both coalesced batch records
+//     and individual records, discards transactions with missing
 //     precommit records or with an epoch beyond a server's durable
 //     frontier, and reconstructs the latest committed version of every key;
 //     CC-internal state is rebuilt implicitly (the fresh CC tree treats
@@ -29,6 +36,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,8 +57,22 @@ type Options struct {
 	EpochInterval time.Duration
 	// SyncCommit forces a flush before commit returns (durability
 	// notification == commit notification). Default is asynchronous
-	// flushing.
+	// flushing. Under the group-commit pipeline a synchronous commit
+	// waits for the batch its records were coalesced into — one fsync
+	// serves every committer in the batch.
 	SyncCommit bool
+	// MaxBatch bounds how many records one appender coalesces into a
+	// single batch append (default 256).
+	MaxBatch int
+	// MaxDelay, when > 0, holds a forming batch open to accumulate more
+	// committers before flushing. Default 0: batching is purely natural
+	// (whatever queued while the previous batch was being flushed).
+	MaxDelay time.Duration
+	// Observer, when non-nil, is called after every coalesced batch
+	// append with the number of records, the append(+flush) latency and
+	// any error. The engine wires this to its batch-size / flush-latency
+	// counters.
+	Observer func(records int, d time.Duration, err error)
 }
 
 // KV is one logged write.
@@ -58,16 +81,35 @@ type KV struct {
 	Value []byte
 }
 
-// Manager is the durability module.
+// Manager is the durability module. Appends go through per-data-server
+// group-commit appenders (group.go): concurrent committers' precommit and
+// commit records are coalesced into one batch record per shard, appended
+// and flushed together.
 type Manager struct {
-	opts   Options
-	stores []*kvstore.Store
-	seq    atomic.Uint64
-	epoch  atomic.Uint64
+	opts      Options
+	stores    []*kvstore.Store
+	appenders []*appender
+	maxBatch  int
+	maxDelay  time.Duration
+	seq       atomic.Uint64
+	epoch     atomic.Uint64
 
 	mu           sync.Mutex
 	durableEpoch uint64
 	durableCond  *sync.Cond
+
+	// closeMu serializes pipeline submission against epoch seals and
+	// Close. Stagers (Precommit/Commit) hold the read side across the
+	// epoch read AND the channel sends, so a record carrying epoch e is
+	// always in its appender's queue before flushEpoch — which holds the
+	// write side while advancing the epoch and enqueueing the seal
+	// requests — can seal e; FIFO then guarantees the record is flushed
+	// before the durable frontier covers it. Close also holds the write
+	// side while marking the pipeline closed and closing the appender
+	// queues; after close, submissions fall back to direct synchronous
+	// appends.
+	closeMu sync.RWMutex
+	closed  bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -82,6 +124,11 @@ func Open(opts Options) (*Manager, error) {
 		opts.EpochInterval = time.Second
 	}
 	m := &Manager{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	m.maxBatch = opts.MaxBatch
+	if m.maxBatch <= 0 {
+		m.maxBatch = 256
+	}
+	m.maxDelay = opts.MaxDelay
 	m.durableCond = sync.NewCond(&m.mu)
 	for i := 0; i < opts.Shards; i++ {
 		st, err := kvstore.Open(filepath.Join(opts.Dir, fmt.Sprintf("ds-%03d.log", i)))
@@ -93,9 +140,40 @@ func Open(opts Options) (*Manager, error) {
 		}
 		m.stores = append(m.stores, st)
 	}
+	for i, st := range m.stores {
+		a := newAppender(m, i, st)
+		if b := st.Get(fmt.Sprintf("e/%d", i)); len(b) == 8 {
+			// Resume monotone from the reopened log's marker.
+			a.marker = binary.LittleEndian.Uint64(b)
+		}
+		// Resume the batch sequence past every existing batch record:
+		// b/<shard>/<seq> keys are latest-wins in the kvstore, so a
+		// restarted counter would silently overwrite earlier batches
+		// and lose their transactions at recovery.
+		prefix := fmt.Sprintf("b/%d/", i)
+		st.ForEach(func(key string, _ []byte) error {
+			if strings.HasPrefix(key, prefix) {
+				if seq, err := strconv.ParseUint(key[len(prefix):], 10, 64); err == nil && seq >= a.seq {
+					a.seq = seq + 1
+				}
+			}
+			return nil
+		})
+		m.appenders = append(m.appenders, a)
+		go a.run()
+	}
 	m.epoch.Store(1)
 	go m.flusher()
 	return m, nil
+}
+
+// Synchronous reports whether commits wait for their flush.
+func (m *Manager) Synchronous() bool { return m.opts.SyncCommit }
+
+func (m *Manager) observe(records int, d time.Duration, err error) {
+	if m.opts.Observer != nil {
+		m.opts.Observer(records, d, err)
+	}
 }
 
 // Epoch returns the current GCP epoch id.
@@ -108,37 +186,101 @@ func (m *Manager) DurableEpoch() uint64 {
 	return m.durableEpoch
 }
 
-// Precommit appends a precommit record on every participating data server
-// and returns the transaction's global epoch id (max of participant epochs —
-// with one process-wide epoch counter they coincide). writesByShard maps
-// data server index -> the transaction's writes owned by that server.
-func (m *Manager) Precommit(txnID uint64, writesByShard map[int][]KV) (uint64, error) {
-	epoch := m.epoch.Load()
+// Precommit stages a precommit record on every participating data server's
+// appender and returns the transaction's global epoch id (max of
+// participant epochs — with one process-wide epoch counter they coincide)
+// plus the Ticket tracking the transaction's records through the pipeline.
+// writesByShard maps data server index -> the transaction's writes owned by
+// that server. The ticket is sized for the precommit records plus the
+// coordinator commit record that Commit enqueues later.
+func (m *Manager) Precommit(txnID uint64, writesByShard map[int][]KV) (uint64, *Ticket, error) {
 	n := len(writesByShard)
+	tk := newTicket(int32(n) + 1)
+	m.closeMu.RLock()
+	// The epoch MUST be read under the stage/seal lock: otherwise a seal
+	// of this epoch could slip between the read and the sends, and the
+	// records would miss the flush their epoch promises.
+	epoch := m.epoch.Load()
+	if m.closed {
+		m.closeMu.RUnlock()
+		// Pipeline shut down (close racing a late committer): append
+		// directly, as the pre-pipeline protocol did.
+		var first error
+		done := 0
+		for shard, kvs := range writesByShard {
+			rec := encodePrecommit(txnID, epoch, n, kvs)
+			err := m.stores[shard].Set(fmt.Sprintf("p/%d/%d", txnID, shard), rec)
+			tk.complete(err)
+			done++
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if first != nil {
+			// The caller aborts; drain the ticket's remaining slots
+			// (unwritten shards + the never-staged commit record) so
+			// Wait/Done can never hang on this ticket.
+			for ; done < n+1; done++ {
+				tk.complete(first)
+			}
+			return 0, tk, first
+		}
+		return epoch, tk, nil
+	}
 	for shard, kvs := range writesByShard {
-		rec := encodePrecommit(txnID, epoch, n, kvs)
-		key := fmt.Sprintf("p/%d/%d", txnID, shard)
-		if err := m.stores[shard].Set(key, rec); err != nil {
-			return 0, err
+		m.appenders[shard].ch <- appendReq{
+			kind:    recPrecommit,
+			payload: encodePrecommit(txnID, epoch, n, kvs),
+			epoch:   epoch,
+			tk:      tk,
 		}
 	}
-	return epoch, nil
+	m.closeMu.RUnlock()
+	return epoch, tk, nil
 }
 
-// Commit appends the coordinator's commit record (each transaction's
+// Commit stages the coordinator's commit record (each transaction's
 // coordinator log lives on the data server picked by its id, spreading the
-// append load). With SyncCommit it blocks until the record is durable.
-func (m *Manager) Commit(txnID, commitTS, epoch uint64) error {
-	rec := make([]byte, 16)
-	binary.LittleEndian.PutUint64(rec[0:8], commitTS)
-	binary.LittleEndian.PutUint64(rec[8:16], epoch)
+// append load) on the pipeline and returns without waiting: commit
+// notification is decoupled from durable notification (§4.5.4) even under
+// SyncCommit, where the caller decides when to block on the ticket — the
+// engine releases CC state first, then waits, so the log never throttles
+// concurrency control. Ticket.Wait returns once the transaction's whole
+// record set — precommit records included, since appenders are FIFO — is
+// appended, and flushed under SyncCommit.
+func (m *Manager) Commit(txnID, commitTS, epoch uint64, tk *Ticket) error {
 	shard := int(txnID) % len(m.stores)
-	if err := m.stores[shard].Set(fmt.Sprintf("c/%d", txnID), rec); err != nil {
+	m.closeMu.RLock()
+	// The participant epoch from Precommit may already be sealed by the
+	// time the commit record is staged; bump the record to the current
+	// epoch (read under the stage/seal lock) so the epoch-frontier rule
+	// stays sound — recovery becomes conservative (the transaction is
+	// classified into a later, possibly unsealed epoch), never wrong.
+	if cur := m.epoch.Load(); cur > epoch {
+		epoch = cur
+	}
+	if m.closed {
+		m.closeMu.RUnlock()
+		rec := make([]byte, 16)
+		binary.LittleEndian.PutUint64(rec[0:8], commitTS)
+		binary.LittleEndian.PutUint64(rec[8:16], epoch)
+		start := time.Now()
+		err := m.stores[shard].Set(fmt.Sprintf("c/%d", txnID), rec)
+		if err == nil && m.opts.SyncCommit {
+			err = m.syncStores()
+		}
+		// Route through the observer so fallback appends share the
+		// pipeline's accounting (including the error counter).
+		m.observe(1, time.Since(start), err)
+		tk.complete(err)
 		return err
 	}
-	if m.opts.SyncCommit {
-		return m.flushEpoch()
-	}
+	payload := make([]byte, 24)
+	binary.LittleEndian.PutUint64(payload[0:8], txnID)
+	binary.LittleEndian.PutUint64(payload[8:16], commitTS)
+	binary.LittleEndian.PutUint64(payload[16:24], epoch)
+	m.appenders[shard].ch <- appendReq{kind: recCommit, payload: payload, epoch: epoch, tk: tk}
+	m.closeMu.RUnlock()
 	return nil
 }
 
@@ -169,18 +311,51 @@ func (m *Manager) flusher() {
 	}
 }
 
+// syncStores flushes and fsyncs every store (closed-pipeline fallback).
+func (m *Manager) syncStores() error {
+	for _, st := range m.stores {
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (m *Manager) flushEpoch() error {
+	// Advance the epoch and enqueue the seals under the write side of
+	// the stage/seal lock: stagers read the epoch and send their records
+	// under the read side, so every record carrying epoch <= cur is
+	// already in its appender's queue (FIFO, ahead of the seal) —
+	// otherwise WaitDurable(cur) would lie.
+	m.closeMu.Lock()
 	cur := m.epoch.Add(1) - 1 // seal epoch `cur`, open the next
-	for i, st := range m.stores {
-		if err := st.Sync(); err != nil {
-			return err
+	if m.closed {
+		m.closeMu.Unlock()
+		// Pipeline shut down: seal directly (the appenders have
+		// drained and exited).
+		for i, st := range m.stores {
+			if err := st.Sync(); err != nil {
+				return err
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], cur)
+			if err := st.Set(fmt.Sprintf("e/%d", i), buf[:]); err != nil {
+				return err
+			}
+			if err := st.Sync(); err != nil {
+				return err
+			}
 		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], cur)
-		if err := st.Set(fmt.Sprintf("e/%d", i), buf[:]); err != nil {
-			return err
+	} else {
+		tk := newTicket(int32(len(m.appenders)))
+		for _, a := range m.appenders {
+			a.ch <- appendReq{kind: recSeal, epoch: cur, tk: tk}
 		}
-		if err := st.Sync(); err != nil {
+		m.closeMu.Unlock()
+		// Wait outside the lock: the appenders do the flushing, and
+		// stagers must be free to pile the next epoch's records in
+		// behind the seals meanwhile.
+		if err := tk.Wait(); err != nil {
 			return err
 		}
 	}
@@ -193,14 +368,26 @@ func (m *Manager) flushEpoch() error {
 	return nil
 }
 
-// Close flushes outstanding records and closes the stores.
+// Close drains the group-commit pipeline, flushes outstanding records and
+// closes the stores.
 func (m *Manager) Close() error {
 	select {
 	case <-m.stop:
 	default:
 		close(m.stop)
 	}
-	<-m.done
+	<-m.done // flusher has run the final flushEpoch (incl. barrier)
+	m.closeMu.Lock()
+	if !m.closed {
+		m.closed = true
+		for _, a := range m.appenders {
+			close(a.ch)
+		}
+	}
+	m.closeMu.Unlock()
+	for _, a := range m.appenders {
+		<-a.exited
+	}
 	var first error
 	for _, st := range m.stores {
 		if err := st.Close(); err != nil && first == nil {

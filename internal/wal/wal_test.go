@@ -27,11 +27,11 @@ func TestPrecommitCommitRecover(t *testing.T) {
 		0: {kv("t", "a", "1")},
 		1: {kv("t", "b", "2")},
 	}
-	epoch, err := m.Precommit(7, writes)
+	epoch, tk, err := m.Precommit(7, writes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Commit(7, 100, epoch); err != nil {
+	if err := m.Commit(7, 100, epoch, tk); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -58,7 +58,7 @@ func TestPrecommitCommitRecover(t *testing.T) {
 func TestRecoverDiscardsMissingCommitRecord(t *testing.T) {
 	dir := t.TempDir()
 	m := open(t, dir, 2, true)
-	if _, err := m.Precommit(1, map[int][]KV{0: {kv("t", "x", "v")}}); err != nil {
+	if _, _, err := m.Precommit(1, map[int][]KV{0: {kv("t", "x", "v")}}); err != nil {
 		t.Fatal(err)
 	}
 	// No commit record: the transaction never reached commit.
@@ -82,7 +82,7 @@ func TestRecoverDiscardsIncompletePrecommits(t *testing.T) {
 	if err := m.stores[0].Set("p/5/0", rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Commit(5, 50, m.Epoch()); err != nil {
+	if err := m.Commit(5, 50, m.Epoch(), newTicket(1)); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -98,10 +98,10 @@ func TestRecoverDiscardsIncompletePrecommits(t *testing.T) {
 func TestLatestVersionWinsAcrossTxns(t *testing.T) {
 	dir := t.TempDir()
 	m := open(t, dir, 1, true)
-	e1, _ := m.Precommit(1, map[int][]KV{0: {kv("t", "k", "old")}})
-	m.Commit(1, 10, e1)
-	e2, _ := m.Precommit(2, map[int][]KV{0: {kv("t", "k", "new")}})
-	m.Commit(2, 20, e2)
+	e1, tk1, _ := m.Precommit(1, map[int][]KV{0: {kv("t", "k", "old")}})
+	m.Commit(1, 10, e1, tk1)
+	e2, tk2, _ := m.Precommit(2, map[int][]KV{0: {kv("t", "k", "new")}})
+	m.Commit(2, 20, e2, tk2)
 	m.Close()
 	st, err := Recover(dir, 1)
 	if err != nil {
@@ -116,11 +116,11 @@ func TestAsyncDurableNotification(t *testing.T) {
 	dir := t.TempDir()
 	m := open(t, dir, 1, false)
 	defer m.Close()
-	epoch, err := m.Precommit(1, map[int][]KV{0: {kv("t", "k", "v")}})
+	epoch, tk, err := m.Precommit(1, map[int][]KV{0: {kv("t", "k", "v")}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Commit(1, 5, epoch); err != nil {
+	if err := m.Commit(1, 5, epoch, tk); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})
