@@ -25,6 +25,17 @@ func benchOptions() tebaldi.Options {
 	return tebaldi.Options{Shards: 16, LockTimeout: 2 * time.Second}
 }
 
+// shortTrim keeps only the first case of a multi-config benchmark family
+// under -short, so `go test -short -run xxx -bench .` is a CI-sized smoke
+// run: every family still executes (one database build + one measured
+// configuration) without sweeping the full matrix.
+func shortTrim[T any](cases []T) []T {
+	if testing.Short() && len(cases) > 1 {
+		return cases[:1]
+	}
+	return cases
+}
+
 // runParallel drives b.N transactions from gen across parallel clients.
 func runParallel(b *testing.B, db *tebaldi.DB, gen func(rng *rand.Rand) (string, uint64, func(*tebaldi.Tx) error)) {
 	b.Helper()
@@ -69,7 +80,7 @@ func tpccBench(b *testing.B, cfg *tebaldi.Config, hot bool) {
 
 // BenchmarkTable31_Grouping — Table 3.1: new_order/stock_level grouping.
 func BenchmarkTable31_Grouping(b *testing.B) {
-	for _, m := range []struct {
+	for _, m := range shortTrim([]struct {
 		name     string
 		deadlock bool
 		disjoint bool
@@ -78,7 +89,7 @@ func BenchmarkTable31_Grouping(b *testing.B) {
 		{"SameGroup", false, false, "same"},
 		{"SeparateNoDeadlock", false, false, "separate"},
 		{"SeparateNoConflict", false, true, "noconflict"},
-	} {
+	}) {
 		b.Run(m.name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), tpcc.PairSpecs(m.deadlock), tpcc.PairConfig(m.mode))
 			if err != nil {
@@ -99,7 +110,7 @@ func BenchmarkTable31_Grouping(b *testing.B) {
 
 // BenchmarkFig47_TPCC — Figure 4.7: TPC-C across the six configurations.
 func BenchmarkFig47_TPCC(b *testing.B) {
-	for _, cf := range []struct {
+	for _, cf := range shortTrim([]struct {
 		name string
 		cfg  *tebaldi.Config
 	}{
@@ -109,7 +120,7 @@ func BenchmarkFig47_TPCC(b *testing.B) {
 		{"Callas2", tpcc.ConfigCallas2()},
 		{"Tebaldi2Layer", tpcc.ConfigTebaldi2Layer()},
 		{"Tebaldi3Layer", tpcc.ConfigTebaldi3Layer()},
-	} {
+	}) {
 		b.Run(cf.name, func(b *testing.B) { tpccBench(b, cf.cfg, false) })
 	}
 }
@@ -117,14 +128,14 @@ func BenchmarkFig47_TPCC(b *testing.B) {
 // BenchmarkFig48_SEATS — Figure 4.8: SEATS across the three configurations.
 func BenchmarkFig48_SEATS(b *testing.B) {
 	sc := seats.DefaultScale()
-	for _, cf := range []struct {
+	for _, cf := range shortTrim([]struct {
 		name string
 		cfg  *tebaldi.Config
 	}{
 		{"Mono2PL", seats.ConfigMono2PL()},
 		{"TwoLayer", seats.Config2Layer()},
 		{"ThreeLayerPerFlightTSO", seats.Config3Layer(sc)},
-	} {
+	}) {
 		b.Run(cf.name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), seats.Specs(sc), cf.cfg)
 			if err != nil {
@@ -143,21 +154,28 @@ func BenchmarkFig48_SEATS(b *testing.B) {
 
 // BenchmarkSec463_HotItem — §4.6.3: extensibility, 3-layer vs 4-layer.
 func BenchmarkSec463_HotItem(b *testing.B) {
-	b.Run("ThreeLayerMerged", func(b *testing.B) { tpccBench(b, tpcc.ConfigHot3Layer(), true) })
-	b.Run("FourLayerOwnGroup", func(b *testing.B) { tpccBench(b, tpcc.ConfigHot4Layer(), true) })
+	for _, cf := range shortTrim([]struct {
+		name string
+		cfg  *tebaldi.Config
+	}{
+		{"ThreeLayerMerged", tpcc.ConfigHot3Layer()},
+		{"FourLayerOwnGroup", tpcc.ConfigHot4Layer()},
+	}) {
+		b.Run(cf.name, func(b *testing.B) { tpccBench(b, cf.cfg, true) })
+	}
 }
 
 // BenchmarkFig410_CrossGroup — Figure 4.10: cross-group CC comparison.
 func BenchmarkFig410_CrossGroup(b *testing.B) {
-	for _, wl := range []struct {
+	for _, wl := range shortTrim([]struct {
 		name   string
 		shared int
 		ro     bool
 	}{
 		{"rw5", 20, true},
 		{"ww5", 20, false},
-	} {
-		for _, cross := range []tebaldi.Kind{tebaldi.TwoPL, tebaldi.SSI, tebaldi.RP} {
+	}) {
+		for _, cross := range shortTrim([]tebaldi.Kind{tebaldi.TwoPL, tebaldi.SSI, tebaldi.RP}) {
 			cg := micro.CrossGroup{SharedRows: wl.shared, ReadOnlyT1: wl.ro}
 			b.Run(wl.name+"_"+string(cross), func(b *testing.B) {
 				db, err := tebaldi.Open(benchOptions(), cg.Specs(), cg.Config(cross))
@@ -179,7 +197,7 @@ func BenchmarkFig410_CrossGroup(b *testing.B) {
 func BenchmarkFig411_ThreeLayer(b *testing.B) {
 	tl := micro.ThreeLayer{}
 	cfgs := tl.Configs()
-	for _, name := range []string{"three-layer", "two-layer-1", "two-layer-2", "two-layer-3", "two-layer-4"} {
+	for _, name := range shortTrim([]string{"three-layer", "two-layer-1", "two-layer-2", "two-layer-3", "two-layer-4"}) {
 		cfg := cfgs[name]
 		b.Run(name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), tl.Specs(), cfg)
@@ -201,7 +219,7 @@ func BenchmarkFig411_ThreeLayer(b *testing.B) {
 func BenchmarkTable41_LayerOverhead(b *testing.B) {
 	ov := &micro.Overhead{}
 	cfgs := ov.Configs()
-	for _, name := range []string{"stand-alone RP", "2PL - RP", "SSI - RP", "RP - RP"} {
+	for _, name := range shortTrim([]string{"stand-alone RP", "2PL - RP", "SSI - RP", "RP - RP"}) {
 		cfg := cfgs[name]
 		b.Run(name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), ov.Specs(), cfg)
@@ -219,7 +237,7 @@ func BenchmarkTable41_LayerOverhead(b *testing.B) {
 
 // BenchmarkTable42_Durability — Table 4.2: durability overhead on TPC-C.
 func BenchmarkTable42_Durability(b *testing.B) {
-	for _, on := range []bool{false, true} {
+	for _, on := range shortTrim([]bool{false, true}) {
 		name := "Off"
 		if on {
 			name = "OnAsync"
@@ -268,12 +286,12 @@ func ycsbBench(b *testing.B, w ycsb.Workload, opts tebaldi.Options) {
 // BenchmarkYCSB — the YCSB core mixes (A update-heavy, B read-heavy,
 // C read-only) without durability: the CC-side cost of the workload.
 func BenchmarkYCSB(b *testing.B) {
-	for _, m := range []struct {
+	for _, m := range shortTrim([]struct {
 		name string
 		w    ycsb.Workload
 	}{
 		{"A", ycsb.A()}, {"B", ycsb.B()}, {"C", ycsb.C()},
-	} {
+	}) {
 		b.Run(m.name, func(b *testing.B) { ycsbBench(b, m.w, benchOptions()) })
 	}
 }
@@ -284,13 +302,13 @@ func BenchmarkYCSB(b *testing.B) {
 // the flush (the paper's synchronous baseline); Async decouples them via
 // GCP epochs (§4.5.4).
 func BenchmarkYCSB_Durability(b *testing.B) {
-	for _, m := range []struct {
+	for _, m := range shortTrim([]struct {
 		name string
 		sync bool
 	}{
 		{"SyncCommit", true},
 		{"Async", false},
-	} {
+	}) {
 		b.Run(m.name, func(b *testing.B) {
 			opts := benchOptions()
 			dir, err := os.MkdirTemp("", "tebaldi-ycsb-wal-*")
@@ -336,7 +354,7 @@ func BenchmarkFig55_ProfilingCaseStudy(b *testing.B) {
 
 // BenchmarkFig517_ProfilerOverhead — Figure 5.17: profiling on vs off.
 func BenchmarkFig517_ProfilerOverhead(b *testing.B) {
-	for _, prof := range []bool{false, true} {
+	for _, prof := range shortTrim([]bool{false, true}) {
 		name := "Off"
 		if prof {
 			name = "On"
@@ -364,13 +382,13 @@ func BenchmarkFig517_ProfilerOverhead(b *testing.B) {
 // vs per-flight TSO instances.
 func BenchmarkTable51_PartitionByInstance(b *testing.B) {
 	sc := seats.DefaultScale()
-	for _, cf := range []struct {
+	for _, cf := range shortTrim([]struct {
 		name string
 		cfg  *tebaldi.Config
 	}{
 		{"SingleTSO", seats.Config3LayerSingleTSO()},
 		{"PerFlightTSO", seats.Config3Layer(sc)},
-	} {
+	}) {
 		b.Run(cf.name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), seats.Specs(sc), cf.cfg)
 			if err != nil {
@@ -390,13 +408,13 @@ func BenchmarkTable51_PartitionByInstance(b *testing.B) {
 // BenchmarkFig519_Reconfiguration — Figure 5.19 substrate: TPC-C running
 // across a live 2-layer -> 3-layer reconfiguration per protocol.
 func BenchmarkFig519_Reconfiguration(b *testing.B) {
-	for _, proto := range []struct {
+	for _, proto := range shortTrim([]struct {
 		name string
 		p    tebaldi.ReconfigProtocol
 	}{
 		{"PartialRestart", tebaldi.PartialRestart},
 		{"OnlineUpdate", tebaldi.OnlineUpdate},
-	} {
+	}) {
 		b.Run(proto.name, func(b *testing.B) {
 			db, err := tebaldi.Open(benchOptions(), tpcc.Specs(false), tpcc.ConfigTebaldi2Layer())
 			if err != nil {
@@ -424,14 +442,14 @@ func BenchmarkFig519_Reconfiguration(b *testing.B) {
 // BenchmarkTable52_SingleMachine — Table 5.2 substitute: single-shard
 // monolithic CCs vs the Tebaldi tree.
 func BenchmarkTable52_SingleMachine(b *testing.B) {
-	for _, cf := range []struct {
+	for _, cf := range shortTrim([]struct {
 		name string
 		cfg  *tebaldi.Config
 	}{
 		{"Mono2PL", tpcc.ConfigMono2PL()},
 		{"MonoSSI", tpcc.ConfigMonoSSI()},
 		{"Tebaldi3Layer", tpcc.ConfigTebaldi3Layer()},
-	} {
+	}) {
 		b.Run(cf.name, func(b *testing.B) {
 			opts := benchOptions()
 			opts.Shards = 1

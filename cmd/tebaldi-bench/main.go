@@ -36,12 +36,13 @@ var experiments = map[string]func(bench.Params) error{
 	"fig5.19":  bench.Fig519,
 	"table5.2": bench.Table52,
 	"ycsb":     bench.YCSB,
+	"recovery": bench.Recovery,
 }
 
 var order = []string{
 	"table3.1", "fig4.7", "fig4.8", "sec4.6.3", "fig4.10", "fig4.11",
 	"table4.1", "table4.2", "fig5.5", "fig5.11", "fig5.14", "fig5.17",
-	"table5.1", "fig5.19", "table5.2", "ycsb",
+	"table5.1", "fig5.19", "table5.2", "ycsb", "recovery",
 }
 
 func main() {

@@ -646,6 +646,99 @@ func Table52(p Params) error {
 	return nil
 }
 
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(dir string) int64 {
+	var n int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, de := range ents {
+		if info, err := de.Info(); err == nil && !de.IsDir() {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+// Recovery measures bounded-log restart (not in the paper): N committed
+// update transactions under sync group commit, then a cold restart. Without
+// checkpoints the log holds the full history and recovery replays all of
+// it; with periodic checkpoints the log is compacted to the post-frontier
+// tail and recovery replays only that. Reports on-disk log size, restart
+// time, and the records-replayed counter.
+func Recovery(p Params) error {
+	w := p.out()
+	n := 20000
+	if p.Quick {
+		n = 4000
+	}
+	const keys = 256
+	fmt.Fprintf(w, "recovery — checkpoint + log compaction bound restart (N=%d txns, %d hot keys)\n", n, keys)
+	specs := []*tebaldi.Spec{{Name: "put", Tables: []string{"kv"}, WriteTables: []string{"kv"}}}
+	cfg := tebaldi.Leaf(tebaldi.TwoPL, "put")
+
+	var rows [][2]string
+	for _, mode := range []struct {
+		name  string
+		every int // checkpoint every `every` txns; 0 = never
+	}{
+		{"no checkpoints", 0},
+		{"checkpoint every N/8", n / 8},
+	} {
+		dir, err := os.MkdirTemp("", "tebaldi-recovery-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts := dbOptions()
+		opts.DurabilityDir = dir
+		opts.DurabilitySync = true
+		opts.GCPEpoch = 20 * time.Millisecond
+		db, err := tebaldi.Open(opts, specs, cfg)
+		if err != nil {
+			return err
+		}
+		val := make([]byte, 64)
+		for i := 0; i < n; i++ {
+			i := i
+			err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+				copy(val, fmt.Sprintf("v%d", i))
+				return tx.Write(tebaldi.KeyOf("kv", i%keys), val)
+			})
+			if err != nil {
+				db.Close()
+				return err
+			}
+			if mode.every > 0 && (i+1)%mode.every == 0 {
+				if err := db.Checkpoint(); err != nil {
+					db.Close()
+					return err
+				}
+			}
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		size := dirBytes(dir)
+
+		start := time.Now()
+		db2, st, err := tebaldi.Recover(opts, specs, cfg)
+		if err != nil {
+			return err
+		}
+		restart := time.Since(start)
+		db2.Close()
+		rows = append(rows, [2]string{mode.name,
+			fmt.Sprintf("disk %7.1f KiB   restart %8v   replayed %6d records   snapshot %4d keys",
+				float64(size)/1024, restart.Round(100*time.Microsecond), st.Replayed, st.SnapshotKeys)})
+	}
+	table(w, "measured:", rows)
+	fmt.Fprintf(w, "expected: checkpointing holds disk size and replay near the post-frontier tail,\n")
+	fmt.Fprintf(w, "independent of N; without it both grow linearly with history.\n")
+	return nil
+}
+
 // YCSB runs the YCSB core mixes (A update-heavy, B read-heavy, C read-only;
 // zipfian) — the write-heavy scenario the paper's TPC-C/SEATS evaluation
 // lacks — and measures the durability module's group-commit pipeline on

@@ -246,9 +246,18 @@ type Options struct {
 	DurabilitySync bool
 	// GCPEpoch is the GCP epoch length for asynchronous flushing.
 	GCPEpoch time.Duration
+	// CheckpointEvery, when > 0, runs a consistent checkpoint (snapshot at
+	// the GC watermark + log compaction) on this period, bounding both the
+	// on-disk log and recovery replay. Requires DurabilityDir. Explicit
+	// checkpoints via Engine.Checkpoint work either way.
+	CheckpointEvery time.Duration
 	// DrainTimeout bounds reconfiguration quiescing before ongoing
 	// transactions are force-aborted (§5.5.1).
 	DrainTimeout time.Duration
+
+	// crashHook, when set (crash-point torture tests only), is passed to
+	// the WAL as its fault-injection hook.
+	crashHook func(point string)
 }
 
 func (o *Options) withDefaults() Options {

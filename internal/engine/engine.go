@@ -51,8 +51,14 @@ type Engine struct {
 	// change and read lock-free by Watermark.
 	snapSources atomic.Pointer[[]func() uint64]
 
+	// ckMu serializes checkpoints against each other and against version
+	// GC: the checkpoint scan needs "latest committed version <= cut" to
+	// stay reachable on every chain for the duration of the scan.
+	ckMu   sync.Mutex
 	stopGC chan struct{}
 	gcDone chan struct{}
+	stopCK chan struct{}
+	ckDone chan struct{}
 	closed atomic.Bool
 }
 
@@ -112,6 +118,7 @@ func New(opts Options, specs []*core.Spec, config *NodeSpec) (*Engine, error) {
 			EpochInterval: e.opts.GCPEpoch,
 			SyncCommit:    e.opts.DurabilitySync,
 			Observer:      e.stats.recordWalBatch,
+			CrashHook:     e.opts.crashHook,
 		})
 		if err != nil {
 			return nil, err
@@ -133,6 +140,11 @@ func New(opts Options, specs []*core.Spec, config *NodeSpec) (*Engine, error) {
 		e.stopGC = make(chan struct{})
 		e.gcDone = make(chan struct{})
 		go e.gcLoop()
+	}
+	if e.opts.CheckpointEvery > 0 && e.walMgr != nil {
+		e.stopCK = make(chan struct{})
+		e.ckDone = make(chan struct{})
+		go e.ckLoop()
 	}
 	return e, nil
 }
@@ -156,6 +168,7 @@ func Recover(opts Options, specs []*core.Spec, config *NodeSpec) (*Engine, *wal.
 	for _, w := range st.Writes {
 		e.loadVersion(w.Key, w.Value, w.CommitTS)
 	}
+	e.stats.recordRecovery(st)
 	return e, st, nil
 }
 
@@ -341,9 +354,69 @@ func (e *Engine) gcLoop() {
 		case <-e.stopGC:
 			return
 		case <-tick.C:
+			// ckMu pauses GC while a checkpoint scans the chains: GC
+			// running under a newer watermark could prune the very
+			// versions the checkpoint cut still needs.
+			e.ckMu.Lock()
 			e.store.GC(e.Watermark())
+			e.ckMu.Unlock()
 		}
 	}
+}
+
+func (e *Engine) ckLoop() {
+	defer close(e.ckDone)
+	tick := time.NewTicker(e.opts.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stopCK:
+			return
+		case <-tick.C:
+			// Errors are counted (stats.checkpointErrors); the next
+			// tick retries. The log keeps growing until one succeeds,
+			// which is the durable-by-default failure mode.
+			e.Checkpoint()
+		}
+	}
+}
+
+// Checkpoint snapshots the committed state at a watermark-consistent cut
+// into per-shard snapshot files, publishes the checkpoint frontier through
+// the WAL pipeline, and compacts the logs down to the post-cut tail
+// (§4.5.4's "logs are pruned by log truncation at checkpoints", which the
+// paper outsources to the storage layer). Safe to call concurrently with
+// running transactions: the cut is the GC watermark, below which no
+// transaction is still active, so the snapshot is a consistent prefix of
+// the commit order; everything above it stays in the log.
+func (e *Engine) Checkpoint() error {
+	if e.walMgr == nil {
+		return fmt.Errorf("engine: checkpoint requires durability (Options.DurabilityDir)")
+	}
+	e.ckMu.Lock()
+	defer e.ckMu.Unlock()
+	// Every transaction with commitTS <= the watermark has fully finished:
+	// were such a transaction still registered, the watermark would be at
+	// or below its begin timestamp, which is strictly below its commit
+	// timestamp — a contradiction. Transactions committing during the scan
+	// draw commit timestamps above the watermark, so the cut is frozen.
+	snapTS := e.Watermark()
+	perShard := make([][]wal.SnapshotEntry, e.store.NumShards())
+	e.store.ForEach(func(c *core.Chain) {
+		c.Lock()
+		v := c.LatestCommittedBefore(snapTS)
+		if v == nil {
+			c.Unlock()
+			return
+		}
+		val, cts := v.Value, v.CommitTS()
+		c.Unlock()
+		sh := e.store.ShardIndex(c.Key)
+		perShard[sh] = append(perShard[sh], wal.SnapshotEntry{Key: c.Key, Value: val, CommitTS: cts})
+	})
+	res, err := e.walMgr.Checkpoint(snapTS, perShard)
+	e.stats.recordCheckpoint(res, err)
+	return err
 }
 
 // netDelay simulates the TC <-> DS round trip.
@@ -389,6 +462,10 @@ func (e *Engine) ReadCommitted(k core.Key) []byte {
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if e.stopCK != nil {
+		close(e.stopCK)
+		<-e.ckDone
 	}
 	if e.stopGC != nil {
 		close(e.stopGC)

@@ -49,6 +49,12 @@ func newBank(t *testing.T, cfg *NodeSpec, accounts int) *Engine {
 // checks conservation of money — a serializability witness.
 func runBank(t *testing.T, e *Engine, accounts, workers, txnsEach int) {
 	t.Helper()
+	if testing.Short() {
+		// Keep the CI -race job fast: contention-heavy configs (RP
+		// audits especially) multiply lock-timeout waits under the race
+		// detector's slowdown.
+		txnsEach /= 4
+	}
 	defer e.Close()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector (used to skip tests with known race-timing-exposed bugs).
+const raceDetectorEnabled = true

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // Stats holds engine-wide counters. All fields are updated atomically; use
@@ -27,6 +28,18 @@ type Stats struct {
 	walBatches      atomic.Uint64
 	walBatchRecords atomic.Uint64
 	walFlushNs      atomic.Uint64
+
+	// Checkpoint / recovery counters: checkpoints completed, last
+	// snapshot's size, cumulative log bytes dropped by compaction, failed
+	// checkpoint attempts, and — set once at Recover — how many log
+	// records the last recovery replayed (with checkpointing, the
+	// post-frontier tail only) and the snapshot cut it started from.
+	checkpoints        atomic.Uint64
+	checkpointErrors   atomic.Uint64
+	ckSnapshotBytes    atomic.Uint64
+	ckTruncatedBytes   atomic.Uint64
+	recoveryReplayed   atomic.Uint64
+	recoverySnapshotTS atomic.Uint64
 
 	mu      sync.Mutex
 	perType map[string]*TypeStats
@@ -77,6 +90,23 @@ func (s *Stats) recordAbort(t *core.Txn, cause error) {
 	}
 }
 
+// recordCheckpoint tallies one checkpoint attempt.
+func (s *Stats) recordCheckpoint(res *wal.CheckpointResult, err error) {
+	if err != nil {
+		s.checkpointErrors.Add(1)
+		return
+	}
+	s.checkpoints.Add(1)
+	s.ckSnapshotBytes.Store(uint64(res.SnapshotBytes))
+	s.ckTruncatedBytes.Add(uint64(res.TruncatedBytes()))
+}
+
+// recordRecovery publishes the last recovery's replay counters.
+func (s *Stats) recordRecovery(st *wal.RecoveredState) {
+	s.recoveryReplayed.Store(uint64(st.Replayed))
+	s.recoverySnapshotTS.Store(st.SnapshotTS)
+}
+
 // recordWalBatch is the WAL group-commit observer: one coalesced batch of
 // `records` log records was appended (and flushed, under SyncCommit) in d.
 func (s *Stats) recordWalBatch(records int, d time.Duration, err error) {
@@ -102,7 +132,16 @@ type Snapshot struct {
 	WalBatchRecords uint64
 	WalFlushNs      uint64
 	WalErrors       uint64
-	PerType         map[string]TypeSnapshot
+	// Checkpoint / recovery counters (zero when durability is off or no
+	// checkpoint ran). RecoveryReplayed is the number of log records the
+	// last Recover replayed — with checkpointing, the post-frontier tail.
+	Checkpoints              uint64
+	CheckpointErrors         uint64
+	CheckpointSnapshotBytes  uint64
+	CheckpointTruncatedBytes uint64
+	RecoveryReplayed         uint64
+	RecoverySnapshotTS       uint64
+	PerType                  map[string]TypeSnapshot
 }
 
 // TypeSnapshot is the per-type portion of a Snapshot.
@@ -115,18 +154,24 @@ type TypeSnapshot struct {
 // Snapshot captures the current counters.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
-		At:              time.Now(),
-		Commits:         s.commits.Load(),
-		Aborts:          s.aborts.Load(),
-		AbortTimeout:    s.abortTimeout.Load(),
-		AbortConflict:   s.abortConflict.Load(),
-		AbortPivot:      s.abortPivot.Load(),
-		AbortCascade:    s.abortCascade.Load(),
-		WalBatches:      s.walBatches.Load(),
-		WalBatchRecords: s.walBatchRecords.Load(),
-		WalFlushNs:      s.walFlushNs.Load(),
-		WalErrors:       s.walErrors.Load(),
-		PerType:         map[string]TypeSnapshot{},
+		At:                       time.Now(),
+		Commits:                  s.commits.Load(),
+		Aborts:                   s.aborts.Load(),
+		AbortTimeout:             s.abortTimeout.Load(),
+		AbortConflict:            s.abortConflict.Load(),
+		AbortPivot:               s.abortPivot.Load(),
+		AbortCascade:             s.abortCascade.Load(),
+		WalBatches:               s.walBatches.Load(),
+		WalBatchRecords:          s.walBatchRecords.Load(),
+		WalFlushNs:               s.walFlushNs.Load(),
+		WalErrors:                s.walErrors.Load(),
+		Checkpoints:              s.checkpoints.Load(),
+		CheckpointErrors:         s.checkpointErrors.Load(),
+		CheckpointSnapshotBytes:  s.ckSnapshotBytes.Load(),
+		CheckpointTruncatedBytes: s.ckTruncatedBytes.Load(),
+		RecoveryReplayed:         s.recoveryReplayed.Load(),
+		RecoverySnapshotTS:       s.recoverySnapshotTS.Load(),
+		PerType:                  map[string]TypeSnapshot{},
 	}
 	s.mu.Lock()
 	for typ, ts := range s.perType {

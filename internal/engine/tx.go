@@ -224,6 +224,7 @@ func (tx *Tx) Commit() error {
 	// fsync.
 	var epoch uint64
 	var ticket *wal.Ticket
+	var walShards []int
 	if tx.e.walMgr != nil {
 		byShard := map[int][]wal.KV{}
 		for _, w := range t.Writes() {
@@ -236,12 +237,21 @@ func (tx *Tx) Commit() error {
 			if err != nil {
 				return tx.abortWith(fmt.Errorf("%w: wal: %v", core.ErrAborted, err))
 			}
+			for sh := range byShard {
+				walShards = append(walShards, sh)
+			}
 		}
 	}
 
 	commitTS, ok := t.MarkCommittedNext(tx.e.oracle)
 	if !ok {
-		// Force-aborted while committing.
+		// Force-aborted while committing. The staged precommit records
+		// will never get a commit record; stage abort markers so
+		// checkpoint compaction can reclaim them (recovery discards the
+		// transaction either way).
+		if ticket != nil {
+			tx.e.walMgr.Abort(t.ID, walShards)
+		}
 		return tx.abortWith(core.ErrReconfiguring)
 	}
 	if ticket != nil {

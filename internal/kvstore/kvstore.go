@@ -19,16 +19,21 @@ import (
 )
 
 // Store is an append-only persistent key-value store. Writes append records;
-// the latest record for a key wins. Sync flushes and fsyncs.
+// the latest record for a key wins. Sync flushes and fsyncs. Rewrite
+// compacts the log in place (Tebaldi's checkpoint truncation, §4.5.4): the
+// file is atomically replaced by one holding only the records the caller
+// keeps, so the log stays bounded across checkpoints.
 type Store struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	path string
-	// index maps key -> latest value (kept in memory; Tebaldi's logs are
-	// pruned by log truncation at checkpoints in a full system — out of
-	// scope here).
+	// index maps key -> latest value.
 	index map[string][]byte
+	// crashHook, when set, is invoked at durability-critical boundaries
+	// (compaction write/sync/rename). Crash-point tests snapshot the
+	// on-disk state inside the hook to simulate a process kill there.
+	crashHook func(point string)
 }
 
 // Open opens (creating if necessary) the store at path, replaying any
@@ -37,6 +42,9 @@ func Open(path string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: %w", err)
 	}
+	// A leftover rewrite temp file means a crash hit mid-compaction before
+	// the rename: the original log is still the authoritative one.
+	os.Remove(path + compactSuffix)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: %w", err)
@@ -164,6 +172,137 @@ func (s *Store) Sync() error {
 		return err
 	}
 	return f.Sync()
+}
+
+// SetCrashHook installs a crash-injection hook (tests only; see crashHook).
+func (s *Store) SetCrashHook(h func(point string)) {
+	s.mu.Lock()
+	s.crashHook = h
+	s.mu.Unlock()
+}
+
+// hook must be called with s.mu held (it reads crashHook); the hook itself
+// only inspects the filesystem, never the store, so no lock ordering issue.
+func (s *Store) hook(point string) {
+	if s.crashHook != nil {
+		s.crashHook(point)
+	}
+}
+
+// Size returns the current on-disk log size in bytes (buffered writes
+// included, since they are counted by the writer even before the flush).
+func (s *Store) Size() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return 0, errors.New("kvstore: closed")
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+const compactSuffix = ".compact"
+
+// Rewrite compacts the log: every live key is offered to transform, which
+// returns the value to keep (possibly rewritten; must be non-empty) and
+// whether to keep the key at all. The surviving records are written to a
+// temp file, fsynced, and atomically renamed over the log, so a crash at any
+// point leaves either the complete old log or the complete new one — never a
+// mix. Returns the log size before and after.
+//
+// The store mutex is held for the duration: concurrent Sets block until the
+// rewrite completes, which keeps the index and the file in lockstep.
+func (s *Store) Rewrite(transform func(key string, value []byte) ([]byte, bool)) (before, after int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return 0, 0, errors.New("kvstore: closed")
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if st, err := s.f.Stat(); err == nil {
+		before = st.Size()
+	}
+
+	tmpPath := s.path + compactSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return before, before, fmt.Errorf("kvstore: rewrite: %w", err)
+	}
+	tw := bufio.NewWriterSize(tmp, 1<<16)
+	next := make(map[string][]byte, len(s.index))
+	var hdr [8]byte
+	for k, v := range s.index {
+		nv, keep := transform(k, v)
+		if !keep {
+			continue
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(k)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(nv)))
+		if _, err = tw.Write(hdr[:]); err == nil {
+			if _, err = tw.WriteString(k); err == nil {
+				_, err = tw.Write(nv)
+			}
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return before, before, fmt.Errorf("kvstore: rewrite: %w", err)
+		}
+		cp := make([]byte, len(nv))
+		copy(cp, nv)
+		next[k] = cp
+		after += 8 + int64(len(k)) + int64(len(nv))
+	}
+	if err = tw.Flush(); err == nil {
+		s.hook("compact.written")
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return before, before, fmt.Errorf("kvstore: rewrite: %w", err)
+	}
+	s.hook("compact.synced")
+	if err = os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return before, before, fmt.Errorf("kvstore: rewrite rename: %w", err)
+	}
+	s.hook("compact.renamed")
+	// Persist the rename itself.
+	if d, derr := os.Open(filepath.Dir(s.path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err == nil {
+		if _, serr := f.Seek(0, io.SeekEnd); serr != nil {
+			f.Close()
+			err = serr
+		}
+	}
+	if err != nil {
+		// The old file object points at the renamed-over inode; writing
+		// through it would be silent data loss. Fail the store instead.
+		s.f.Close()
+		s.w = nil
+		return before, after, fmt.Errorf("kvstore: rewrite reopen: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	s.index = next
+	return before, after, nil
 }
 
 // Close flushes and closes the store.

@@ -104,6 +104,104 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+func TestRewriteCompacts(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 100; i++ {
+		s.Set("hot", []byte("version-with-some-length-"+string(rune('a'+i%26))))
+	}
+	s.Set("keep", []byte("kept"))
+	s.Set("drop", []byte("dropped"))
+	before, after, err := s.Rewrite(func(key string, value []byte) ([]byte, bool) {
+		if key == "drop" {
+			return nil, false
+		}
+		if key == "hot" {
+			return []byte("rewritten"), true
+		}
+		return value, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("rewrite did not shrink the log: before=%d after=%d", before, after)
+	}
+	if got := string(s.Get("hot")); got != "rewritten" {
+		t.Fatalf("hot = %q", got)
+	}
+	if s.Get("drop") != nil {
+		t.Fatal("dropped key survived in the index")
+	}
+	// The rewritten log must still accept and persist writes.
+	if err := s.Set("post", []byte("after-rewrite")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := string(s2.Get("hot")); got != "rewritten" {
+		t.Fatalf("reopened hot = %q", got)
+	}
+	if got := string(s2.Get("post")); got != "after-rewrite" {
+		t.Fatalf("reopened post = %q", got)
+	}
+	if s2.Get("drop") != nil {
+		t.Fatal("dropped key resurrected on reopen")
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("len %d", s2.Len())
+	}
+}
+
+func TestRewriteLeftoverTempIgnoredOnOpen(t *testing.T) {
+	s, path := tempStore(t)
+	s.Set("a", []byte("1"))
+	s.Close()
+	// Simulate a crash mid-compaction: a temp file exists but the rename
+	// never happened. The original log must stay authoritative.
+	if err := os.WriteFile(path+compactSuffix, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := string(s2.Get("a")); got != "1" {
+		t.Fatalf("a = %q", got)
+	}
+	if _, err := os.Stat(path + compactSuffix); !os.IsNotExist(err) {
+		t.Fatal("leftover compaction temp file not removed")
+	}
+}
+
+func TestRewriteCrashHookPoints(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	s.Set("k", []byte("v"))
+	var points []string
+	s.SetCrashHook(func(p string) { points = append(points, p) })
+	if _, _, err := s.Rewrite(func(key string, value []byte) ([]byte, bool) {
+		return value, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"compact.written", "compact.synced", "compact.renamed"}
+	if len(points) != len(want) {
+		t.Fatalf("points %v", points)
+	}
+	for i := range want {
+		if points[i] != want[i] {
+			t.Fatalf("points %v", points)
+		}
+	}
+}
+
 // Property: any sequence of sets survives a close/reopen with last-write-wins
 // semantics.
 func TestRoundTripProperty(t *testing.T) {

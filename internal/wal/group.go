@@ -17,13 +17,16 @@ func appendU32(b []byte, v uint32) []byte {
 
 func u32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
 
-// Record kinds inside the pipeline. Seals never reach the log as batch
-// entries; they instruct the appender to flush and advance the shard's
-// epoch marker.
+// Record kinds inside the pipeline. Seals and checkpoint markers never reach
+// the log as batch entries; a seal instructs the appender to flush and
+// advance the shard's epoch marker, a checkpoint marker to persist the
+// shard's checkpoint frontier.
 const (
-	recSeal      byte = 0 // no payload; epoch = the GCP epoch to seal
-	recPrecommit byte = 1 // payload = encodePrecommit(...)
-	recCommit    byte = 2 // payload = 24 bytes: txnID, commitTS, epoch
+	recSeal       byte = 0 // no payload; epoch = the GCP epoch to seal
+	recPrecommit  byte = 1 // payload = encodePrecommit(...)
+	recCommit     byte = 2 // payload = 24 bytes: txnID, commitTS, epoch
+	recCheckpoint byte = 3 // payload = 16 bytes: checkpoint id, snapshot TS
+	recAbort      byte = 4 // payload = 8 bytes: txnID (commit will never come)
 )
 
 // Ticket tracks one transaction's log records through the group-commit
@@ -195,7 +198,7 @@ func (a *appender) run() {
 //     discarded by the missing-record rules — and its committer was never
 //     acknowledged.
 func (a *appender) flush(batch []appendReq) {
-	var records, seals int
+	var records, seals, cks int
 	var maxEpoch uint64
 	for _, r := range batch {
 		switch r.kind {
@@ -204,6 +207,8 @@ func (a *appender) flush(batch []appendReq) {
 			if r.epoch > maxEpoch {
 				maxEpoch = r.epoch
 			}
+		case recCheckpoint:
+			cks++
 		default:
 			records++
 			if a.m.opts.SyncCommit && r.epoch > maxEpoch {
@@ -217,6 +222,7 @@ func (a *appender) flush(batch []appendReq) {
 		key := fmt.Sprintf("b/%d/%d", a.shard, a.seq)
 		a.seq++
 		err = a.st.Set(key, encodeBatch(batch, records))
+		a.m.hook("append")
 	}
 	if err == nil && maxEpoch > a.marker {
 		// The marker is appended after the records it covers, so a torn
@@ -228,8 +234,27 @@ func (a *appender) flush(batch []appendReq) {
 			a.marker = maxEpoch
 		}
 	}
-	if err == nil && (seals > 0 || (records > 0 && a.m.opts.SyncCommit)) {
+	if err == nil && cks > 0 {
+		// Checkpoint frontier markers are appended after every record
+		// staged before them (FIFO), and the sync below makes the whole
+		// log prefix durable with the marker — the frontier can never
+		// claim coverage of records that were lost with the buffer.
+		for _, r := range batch {
+			if r.kind != recCheckpoint {
+				continue
+			}
+			if err = a.st.Set(fmt.Sprintf("ck/%d", a.shard), r.payload); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil && (seals > 0 || cks > 0 || (records > 0 && a.m.opts.SyncCommit)) {
 		err = a.st.Sync()
+		if seals > 0 {
+			a.m.hook("seal")
+		} else {
+			a.m.hook("flush")
+		}
 	}
 	if records > 0 {
 		a.m.observe(records, time.Since(start), err)
@@ -242,22 +267,47 @@ func (a *appender) flush(batch []appendReq) {
 // encodeBatch packs the batch's payload-bearing records into one value:
 //
 //	u32 count | repeat: u8 kind, u32 len, payload
+//
+// batchEntryKind reports whether a pipeline record kind is persisted as a
+// coalesced batch entry (seals and checkpoint markers are control requests,
+// not log content).
+func batchEntryKind(k byte) bool {
+	return k == recPrecommit || k == recCommit || k == recAbort
+}
+
 func encodeBatch(batch []appendReq, records int) []byte {
 	size := 4
 	for _, r := range batch {
-		if r.kind != recSeal {
+		if batchEntryKind(r.kind) {
 			size += 1 + 4 + len(r.payload)
 		}
 	}
 	buf := make([]byte, 0, size)
 	buf = appendU32(buf, uint32(records))
 	for _, r := range batch {
-		if r.kind == recSeal {
+		if !batchEntryKind(r.kind) {
 			continue
 		}
 		buf = append(buf, r.kind)
 		buf = appendU32(buf, uint32(len(r.payload)))
 		buf = append(buf, r.payload...)
+	}
+	return buf
+}
+
+// encodeBatchEntries re-packs surviving batch entries after compaction
+// filtered out entries belonging to checkpoint-covered transactions.
+func encodeBatchEntries(entries []batchEntry) []byte {
+	size := 4
+	for _, e := range entries {
+		size += 1 + 4 + len(e.payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendU32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = append(buf, e.kind)
+		buf = appendU32(buf, uint32(len(e.payload)))
+		buf = append(buf, e.payload...)
 	}
 	return buf
 }

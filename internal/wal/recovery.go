@@ -29,15 +29,33 @@ type RecoveredState struct {
 	// commit record).
 	Discarded int
 	Committed int
+	// SnapshotTS is the checkpoint cut recovery started from (0 when no
+	// checkpoint existed and the whole history was replayed).
+	SnapshotTS uint64
+	// SnapshotKeys is the number of keys seeded from the checkpoint
+	// snapshot.
+	SnapshotKeys int
+	// Replayed counts the individual log records (precommit and commit,
+	// batch entries included) replayed from the log tail. With
+	// checkpointing enabled this stays proportional to the post-frontier
+	// tail, not to the full history.
+	Replayed int
 }
 
-// Recover performs the three-step recovery procedure of §4.5.4:
+// Recover performs the three-step recovery procedure of §4.5.4, extended
+// with checkpoint support:
 //
+//  0. load the newest complete checkpoint snapshot, if one was published
+//     (manifest + per-shard snapshot files): it seeds the latest committed
+//     version of every covered key, and only the log tail remains;
 //  1. retrieve logs from each data server's persistent store;
 //  2. reconstruct database state — discard transactions that are missing a
 //     precommit record on any participant, whose records fall beyond a
 //     server's durable epoch frontier, or that lack a coordinator commit
-//     record; keep the latest committed version of each key;
+//     record; merge the survivors into the snapshot base, keeping the
+//     latest committed version of each key (merging is by commit timestamp,
+//     so records of snapshot-covered transactions that escaped compaction
+//     replay idempotently);
 //  3. CC-internal state (indices, version maps, lock tables) is rebuilt by
 //     the caller: recovered writes are re-installed as committed history
 //     that only the root CC needs to know about.
@@ -45,6 +63,41 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	out := &RecoveredState{}
+	latest := map[core.Key]RecoveredWrite{}
+
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man != nil {
+		if man.Shards != shards {
+			return nil, fmt.Errorf("wal: checkpoint has %d shards, recovering %d", man.Shards, shards)
+		}
+		for i := 0; i < shards; i++ {
+			snapTS, entries, err := readSnapshot(dir, man.ID, i)
+			if err != nil {
+				return nil, err
+			}
+			if snapTS != man.SnapTS {
+				return nil, fmt.Errorf("wal: snapshot %d/%d cut %d != manifest %d", man.ID, i, snapTS, man.SnapTS)
+			}
+			for _, e := range entries {
+				if cur, ok := latest[e.Key]; !ok || e.CommitTS > cur.CommitTS {
+					latest[e.Key] = RecoveredWrite(e)
+				}
+				if e.CommitTS > out.MaxTS {
+					out.MaxTS = e.CommitTS
+				}
+				out.SnapshotKeys++
+			}
+		}
+		out.SnapshotTS = man.SnapTS
+		if man.SnapTS > out.MaxTS {
+			out.MaxTS = man.SnapTS
+		}
+	}
+
 	type txnInfo struct {
 		precommits int
 		nShards    int
@@ -72,11 +125,31 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 		if b := st.Get(fmt.Sprintf("e/%d", i)); len(b) == 8 {
 			frontier = binary.LittleEndian.Uint64(b)
 		}
+		if man != nil {
+			// The checkpoint frontier marker is staged through the
+			// appender pipeline and fsynced on every shard BEFORE the
+			// manifest is published, so a manifest always implies a
+			// marker at least as new on every shard. A shard behind the
+			// manifest means the logs and the manifest come from
+			// different histories (outside interference, mixed
+			// restores) — recovering would silently drop the compacted
+			// prefix.
+			b := st.Get(fmt.Sprintf("ck/%d", i))
+			if len(b) != 16 {
+				st.Close()
+				return nil, fmt.Errorf("wal: shard %d has no checkpoint frontier marker but manifest %d is published", i, man.ID)
+			}
+			if id := binary.LittleEndian.Uint64(b[0:8]); id < man.ID {
+				st.Close()
+				return nil, fmt.Errorf("wal: shard %d frontier marker %d behind manifest %d", i, id, man.ID)
+			}
+		}
 		applyPrecommit := func(value []byte) {
 			p, err := decodePrecommit(value)
 			if err != nil {
 				return // torn record: skip
 			}
+			out.Replayed++
 			t := get(p.txnID)
 			t.precommits++
 			t.nShards = p.nShards
@@ -86,6 +159,7 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 			}
 		}
 		applyCommit := func(id, commitTS, epoch uint64) {
+			out.Replayed++
 			t := get(id)
 			t.commitTS = commitTS
 			if epoch > frontier {
@@ -139,8 +213,6 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 		}
 	}
 
-	out := &RecoveredState{}
-	latest := map[core.Key]RecoveredWrite{}
 	for _, t := range txns {
 		if !t.committed || !t.epochOK || t.precommits < t.nShards {
 			out.Discarded++

@@ -73,6 +73,13 @@ type Options struct {
 	// any error. The engine wires this to its batch-size / flush-latency
 	// counters.
 	Observer func(records int, d time.Duration, err error)
+	// CrashHook, when non-nil, is invoked at every durability-critical
+	// boundary (append, flush, seal, checkpoint snapshot/frontier/manifest
+	// and the compaction write/sync/rename inside kvstore). Crash-point
+	// torture tests copy the log directory inside the hook — the copy is
+	// exactly the state a process kill at that boundary would leave — and
+	// assert recovery from it. Nil in production.
+	CrashHook func(point string)
 }
 
 // KV is one logged write.
@@ -111,6 +118,11 @@ type Manager struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// ckMu serializes checkpoints; ckSeq is the last completed checkpoint
+	// id (resumed from the manifest on reopen).
+	ckMu  sync.Mutex
+	ckSeq uint64
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -138,7 +150,23 @@ func Open(opts Options) (*Manager, error) {
 			}
 			return nil, err
 		}
+		if opts.CrashHook != nil {
+			st.SetCrashHook(opts.CrashHook)
+		}
 		m.stores = append(m.stores, st)
+	}
+	man, err := readManifest(opts.Dir)
+	if err != nil {
+		// A malformed manifest means outside interference; resuming with
+		// ckSeq 0 would republish low checkpoint ids over newer snapshot
+		// files. Fail loudly, like Recover does.
+		for _, s := range m.stores {
+			s.Close()
+		}
+		return nil, err
+	}
+	if man != nil {
+		m.ckSeq = man.ID
 	}
 	for i, st := range m.stores {
 		a := newAppender(m, i, st)
@@ -173,6 +201,12 @@ func (m *Manager) Synchronous() bool { return m.opts.SyncCommit }
 func (m *Manager) observe(records int, d time.Duration, err error) {
 	if m.opts.Observer != nil {
 		m.opts.Observer(records, d, err)
+	}
+}
+
+func (m *Manager) hook(point string) {
+	if m.opts.CrashHook != nil {
+		m.opts.CrashHook(point)
 	}
 }
 
@@ -282,6 +316,32 @@ func (m *Manager) Commit(txnID, commitTS, epoch uint64, tk *Ticket) error {
 	m.appenders[shard].ch <- appendReq{kind: recCommit, payload: payload, epoch: epoch, tk: tk}
 	m.closeMu.RUnlock()
 	return nil
+}
+
+// Abort stages abort markers on the given data servers for a transaction
+// whose precommit records were staged but whose commit record will never be
+// (the engine's force-abort between precommit staging and the commit
+// point). Recovery discards commit-less transactions either way; the marker
+// exists so checkpoint compaction can reclaim the orphaned precommit
+// records instead of carrying them forever. Fire-and-forget: nothing waits
+// on the staged records.
+func (m *Manager) Abort(txnID uint64, shards []int) {
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, txnID)
+	m.closeMu.RLock()
+	epoch := m.epoch.Load()
+	if m.closed {
+		m.closeMu.RUnlock()
+		for _, shard := range shards {
+			m.stores[shard].Set(fmt.Sprintf("a/%d/%d", txnID, shard), payload)
+		}
+		return
+	}
+	tk := newTicket(int32(len(shards)))
+	for _, shard := range shards {
+		m.appenders[shard].ch <- appendReq{kind: recAbort, payload: payload, epoch: epoch, tk: tk}
+	}
+	m.closeMu.RUnlock()
 }
 
 // WaitDurable blocks until epoch is fully persisted (the durable

@@ -107,6 +107,11 @@ type Options struct {
 	DurabilitySync bool
 	// GCPEpoch is the flush-epoch length (default 1s).
 	GCPEpoch time.Duration
+	// CheckpointEvery, when > 0, periodically snapshots the committed
+	// state and compacts the write-ahead logs, bounding both log size and
+	// restart time. Requires DurabilityDir. DB.Checkpoint triggers one
+	// explicitly at any time.
+	CheckpointEvery time.Duration
 	// DrainTimeout bounds reconfiguration quiescing.
 	DrainTimeout time.Duration
 	// BatchAge bounds SSI/TSO consistent-ordering batch lifetimes.
@@ -115,16 +120,17 @@ type Options struct {
 
 func (o Options) engine() engine.Options {
 	return engine.Options{
-		Shards:         o.Shards,
-		LockTimeout:    o.LockTimeout,
-		GCInterval:     o.GCInterval,
-		Profiling:      o.Profiling,
-		NetworkDelay:   o.NetworkDelay,
-		DurabilityDir:  o.DurabilityDir,
-		DurabilitySync: o.DurabilitySync,
-		GCPEpoch:       o.GCPEpoch,
-		DrainTimeout:   o.DrainTimeout,
-		BatchAge:       o.BatchAge,
+		Shards:          o.Shards,
+		LockTimeout:     o.LockTimeout,
+		GCInterval:      o.GCInterval,
+		Profiling:       o.Profiling,
+		NetworkDelay:    o.NetworkDelay,
+		DurabilityDir:   o.DurabilityDir,
+		DurabilitySync:  o.DurabilitySync,
+		GCPEpoch:        o.GCPEpoch,
+		CheckpointEvery: o.CheckpointEvery,
+		DrainTimeout:    o.DrainTimeout,
+		BatchAge:        o.BatchAge,
 	}
 }
 
@@ -218,6 +224,12 @@ func (db *DB) Config() *Config { return db.eng.Config() }
 // ConfigString renders the live CC tree, e.g.
 // "SSI[ NoCC{order_status,stock_level} 2PL[ RP{new_order,payment} RP{delivery} ] ]".
 func (db *DB) ConfigString() string { return db.eng.ConfigString() }
+
+// Checkpoint snapshots the committed state at a consistent cut and compacts
+// the write-ahead logs down to the post-cut tail, so restart replays only
+// records committed after the newest checkpoint. Requires DurabilityDir;
+// safe to call while transactions run.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
 // Stats exposes commit/abort counters and per-type latency.
 func (db *DB) Stats() *engine.Stats { return db.eng.Stats() }

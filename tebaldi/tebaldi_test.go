@@ -161,6 +161,68 @@ func TestGCPrunesOldVersions(t *testing.T) {
 	}
 }
 
+// TestCheckpointBoundedRestart is the facade-level checkpoint test: after a
+// checkpoint, recovery starts from the snapshot and replays only the tail,
+// and every committed write still survives.
+func TestCheckpointBoundedRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := tebaldi.Options{DurabilityDir: dir, GCPEpoch: 10 * time.Millisecond}
+	db, err := tebaldi.Open(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	put := func(db *tebaldi.DB, i int, v uint64) {
+		t.Helper()
+		if err := db.Run("put", 0, func(tx *tebaldi.Tx) error {
+			return tx.Write(tebaldi.KeyOf("kv", i), u64(v))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		put(db, i%32, uint64(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Stats().Snapshot()
+	if snap.Checkpoints != 1 || snap.CheckpointTruncatedBytes == 0 {
+		t.Fatalf("checkpoints=%d truncated=%d", snap.Checkpoints, snap.CheckpointTruncatedBytes)
+	}
+	// A short tail, then restart.
+	for i := 0; i < 5; i++ {
+		put(db, i, uint64(1000+i))
+	}
+	db.Close()
+
+	db2, state, err := tebaldi.Recover(opts, specs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if state.SnapshotTS == 0 || state.SnapshotKeys == 0 {
+		t.Fatalf("recovery ignored the checkpoint: %+v", state)
+	}
+	if state.Replayed == 0 || state.Replayed > 40 {
+		t.Fatalf("replayed %d records, want a small tail", state.Replayed)
+	}
+	if got := db2.Stats().Snapshot().RecoveryReplayed; got != uint64(state.Replayed) {
+		t.Fatalf("stats RecoveryReplayed=%d, state=%d", got, state.Replayed)
+	}
+	for i := 0; i < 5; i++ {
+		if got := binary.LittleEndian.Uint64(db2.ReadCommitted(tebaldi.KeyOf("kv", i))); got != uint64(1000+i) {
+			t.Fatalf("tail write kv/%d = %d", i, got)
+		}
+	}
+	for i := 5; i < 32; i++ {
+		v := db2.ReadCommitted(tebaldi.KeyOf("kv", i))
+		if v == nil {
+			t.Fatalf("kv/%d lost across checkpointed restart", i)
+		}
+	}
+}
+
 func TestIsRetryable(t *testing.T) {
 	if !tebaldi.IsRetryable(tebaldi.ErrAborted) {
 		t.Fatal("ErrAborted should be retryable")
