@@ -48,6 +48,7 @@ var order = []string{
 func main() {
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.String("json", "", "write machine-readable results to FILE (experiments that support it)")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +68,9 @@ func main() {
 		ids = order
 	}
 	p := bench.Params{Out: os.Stdout, Quick: *quick}
+	if *jsonOut != "" {
+		p.Collect = &bench.Snapshot{Quick: *quick}
+	}
 	for _, id := range ids {
 		run, ok := experiments[id]
 		if !ok {
@@ -78,5 +82,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	if p.Collect != nil {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := p.Collect.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 }

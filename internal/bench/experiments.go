@@ -20,6 +20,9 @@ import (
 type Params struct {
 	Out   io.Writer
 	Quick bool // smaller client counts and windows (CI-friendly)
+	// Collect, when non-nil, accumulates machine-readable results for the
+	// experiments that support it (ycsb, recovery).
+	Collect *Snapshot
 }
 
 func (p Params) out() io.Writer {
@@ -732,6 +735,14 @@ func Recovery(p Params) error {
 		rows = append(rows, [2]string{mode.name,
 			fmt.Sprintf("disk %7.1f KiB   restart %8v   replayed %6d records   snapshot %4d keys",
 				float64(size)/1024, restart.Round(100*time.Microsecond), st.Replayed, st.SnapshotKeys)})
+		p.Collect.Add(SnapshotEntry{
+			Experiment:   "recovery",
+			Label:        mode.name,
+			DiskBytes:    size,
+			RestartUS:    restart.Microseconds(),
+			Replayed:     st.Replayed,
+			SnapshotKeys: st.SnapshotKeys,
+		})
 	}
 	table(w, "measured:", rows)
 	fmt.Fprintf(w, "expected: checkpointing holds disk size and replay near the post-frontier tail,\n")
@@ -775,6 +786,7 @@ func YCSB(p Params) error {
 		res := Drive(db, ycsbGen(c), clients, warmup, measure)
 		db.Close()
 		rows = append(rows, [2]string{m.name, res.String()})
+		p.record("ycsb", m.name, res)
 	}
 	table(w, "measured (in-memory):", rows)
 
@@ -807,6 +819,7 @@ func YCSB(p Params) error {
 		rows = append(rows, [2]string{"YCSB-A, " + mode.name,
 			fmt.Sprintf("%9.0f txn/s  abort %5.1f%%  batch %5.1f rec  flush %s",
 				res.Throughput, 100*res.AbortRate, res.WalMeanBatch, res.WalMeanFlush)})
+		p.record("ycsb", "YCSB-A, "+mode.name, res)
 	}
 	table(w, "measured (durability, group-commit pipeline):", rows)
 	return nil

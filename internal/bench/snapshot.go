@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SnapshotEntry is one machine-readable measurement from an experiment run.
+// Throughput-style entries fill the client/throughput fields; recovery-style
+// entries fill the disk/restart fields. A zero field is omitted.
+type SnapshotEntry struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	Clients    int     `json:"clients,omitempty"`
+	Throughput float64 `json:"throughput_txn_s,omitempty"`
+	AbortRate  float64 `json:"abort_rate,omitempty"`
+	// Durability pipeline counters (YCSB group-commit rows).
+	WalMeanBatch  float64 `json:"wal_mean_batch,omitempty"`
+	WalMeanFlushU int64   `json:"wal_mean_flush_us,omitempty"`
+	// Recovery rows.
+	DiskBytes    int64 `json:"disk_bytes,omitempty"`
+	RestartUS    int64 `json:"restart_us,omitempty"`
+	Replayed     int   `json:"replayed_records,omitempty"`
+	SnapshotKeys int   `json:"snapshot_keys,omitempty"`
+}
+
+// Snapshot accumulates SnapshotEntry values across experiments so a bench
+// run can be archived as JSON (e.g. BENCH_pr6.json) and diffed against later
+// runs by tooling instead of by eyeballing stdout tables.
+type Snapshot struct {
+	mu      sync.Mutex
+	Quick   bool            `json:"quick"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// Add appends one entry; safe for concurrent use.
+func (s *Snapshot) Add(e SnapshotEntry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Entries = append(s.Entries, e)
+	s.mu.Unlock()
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// record captures a driver Result under the given experiment id and label.
+func (p Params) record(experiment, label string, r Result) {
+	p.Collect.Add(SnapshotEntry{
+		Experiment:    experiment,
+		Label:         label,
+		Clients:       r.Clients,
+		Throughput:    r.Throughput,
+		AbortRate:     r.AbortRate,
+		WalMeanBatch:  r.WalMeanBatch,
+		WalMeanFlushU: r.WalMeanFlush.Microseconds(),
+	})
+}

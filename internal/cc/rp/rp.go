@@ -234,29 +234,39 @@ func (r *RP) acquire(t *core.Txn, k core.Key, m lockmgr.Mode) error {
 }
 
 // AmendRead implements core.CC. RP accepts the child's proposal if it is a
-// not-yet-step-committed write from the reader's own child subtree;
-// otherwise it returns the latest step-committed (or fully committed) value
-// written in this node's subtree, exposing pipeline predecessors'
-// uncommitted state. If the subtree never wrote the key the proposal (or
-// nil) passes through for ancestors to amend.
+// pending write from the reader's own child subtree — whether or not it is
+// step-committed, the child chose it and conflicts between the reader and
+// that writer are delegated (substituting committed history here would hand
+// the reader a stale value and lose the predecessor's update; exactly that
+// happened in the hot-4layer RP-over-(RP|2PL) nesting). Otherwise it returns
+// the latest step-committed (or fully committed) value written in this
+// node's subtree, exposing pipeline predecessors' uncommitted state. If the
+// subtree never wrote the key the proposal (or nil) passes through for
+// ancestors to amend.
 func (r *RP) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.Version) (*core.Version, error) {
 	if proposal != nil && proposal.Pending() && !proposal.StepCommitted() &&
 		r.node.SameChild(t, proposal.Writer) {
+		// Not yet exposed: only the child can justify reading it.
 		return proposal, nil
 	}
 	// Candidates: committed history from anywhere (a committed version is
-	// just data — but same-child versions stay the child's choice), plus
+	// just data — but same-child versions stay the child's choice: only
+	// the version the child proposed may represent them), plus
 	// step-committed pending writes from this subtree. A step-committed
 	// pending write supersedes all committed versions: it will commit
 	// after them. Install order equals pipeline order for writes this
-	// node regulates (the step X lock serializes them), so the last
+	// node regulates (same-child writes are serialized by the child, and
+	// cross-child writes by this node's step X lock), so the last
 	// eligible pending version is the latest.
 	var bestCommitted, bestPending *core.Version
 	if proposal != nil && proposal.Committed() {
 		bestCommitted = proposal
 	}
 	for _, v := range ch.Versions() {
-		if v.Writer == t || v.Promise || r.node.SameChild(t, v.Writer) {
+		if v.Writer == t || v.Promise {
+			continue
+		}
+		if r.node.SameChild(t, v.Writer) && v != proposal {
 			continue
 		}
 		switch {
@@ -264,7 +274,7 @@ func (r *RP) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.V
 			if bestCommitted == nil || v.CommitTS() > bestCommitted.CommitTS() {
 				bestCommitted = v
 			}
-		case v.Pending() && v.StepCommitted() && r.node.InSubtree(v.Writer):
+		case v.Pending() && (v.StepCommitted() || v == proposal) && r.node.InSubtree(v.Writer):
 			bestPending = v
 		}
 	}

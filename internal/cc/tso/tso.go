@@ -220,32 +220,39 @@ func (o *TSO) PostWrite(t *core.Txn, k core.Key, ch *core.Chain, v *core.Version
 	if v.TS == 0 {
 		v.TS = s.ts
 	}
-	var pred *core.Version
-	var predTS uint64
 	for _, old := range ch.Versions() {
-		if old == v || old.Writer == t || o.sameGroup(t, old.Writer) {
+		if old == v || old.Writer == t {
+			continue
+		}
+		if o.sameGroup(t, old.Writer) {
+			// Same batch ⇒ same timestamp, and v (installed last, under
+			// the chain lock) supersedes old in the serialization order.
+			// A cross-batch reader with a larger timestamp that read old
+			// missed this write.
+			if old.RTS > v.TS {
+				return core.ErrConflict
+			}
 			continue
 		}
 		ts := o.orderTS(old)
-		if ts == 0 {
+		if ts == 0 || ts >= v.TS {
 			continue
 		}
-		if ts < v.TS {
-			if pred == nil || ts > predTS {
-				pred, predTS = old, ts
-			}
-			if old.Pending() && o.node.InSubtree(old.Writer) {
-				// Smaller-timestamped pending write precedes us.
-				if err := t.AddDep(old.Writer, false); err != nil {
-					return err
-				}
+		// old precedes v, so any reader of old with a timestamp above
+		// v's missed this write: the write arrives too late. Every
+		// predecessor must be checked, not just the maximal one — an
+		// aborting (not yet removed) intermediate version would
+		// otherwise mask the RTS of the version the reader actually
+		// read.
+		if old.RTS > v.TS {
+			return core.ErrConflict
+		}
+		if old.Pending() && o.node.InSubtree(old.Writer) {
+			// Smaller-timestamped pending write precedes us.
+			if err := t.AddDep(old.Writer, false); err != nil {
+				return err
 			}
 		}
-	}
-	if pred != nil && pred.RTS > v.TS {
-		// A reader with a larger timestamp read pred and missed this
-		// write: the write arrives too late.
-		return core.ErrConflict
 	}
 	return nil
 }

@@ -1,0 +1,23 @@
+package anomaly
+
+// DirtyRead (ANSI P1 / G1a "aborted read"): t2 reads t1's uncommitted
+// write, t1 rolls back, t2 commits having observed a value that never
+// existed.
+//
+// A serializable tree may let t2 observe the pending write (RP and TSO
+// deliberately expose uncommitted state), but then t2 carries a read-from
+// dependency and t1's abort must cascade — t2 can commit only if it read
+// the committed "0". Read committed also forbids this one, so the only
+// reachability witness is the no-isolation simulator.
+func DirtyRead() *Pattern {
+	return &Pattern{
+		Name:    "dirty-read",
+		Initial: map[string]string{"x": "0"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{W("x", "1"), A()}},
+			{Name: "t2", Ops: []Op{R("x"), C()}},
+		},
+		Schedule:  []string{"t1", "t2", "t1", "t2"},
+		Anomalous: func(o *Outcome) bool { return o.Committed["t2"] && o.ReadsOf("t2")[0] == "1" },
+	}
+}

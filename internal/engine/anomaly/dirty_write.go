@@ -1,0 +1,23 @@
+package anomaly
+
+// DirtyWrite (ANSI P0 / G0): the writes of two transactions interleave on
+// two keys, leaving a final state mixing both — x from one writer, y from
+// the other — which no serial order can produce.
+//
+// The engine's multiversion store makes this anomaly structurally
+// impossible even without concurrency control (each transaction installs
+// its own versions and the final state per key follows commit-timestamp
+// order, which is total per transaction), so like dirty-read its only
+// reachability witness is the single-version no-isolation simulator.
+func DirtyWrite() *Pattern {
+	return &Pattern{
+		Name:    "dirty-write",
+		Initial: map[string]string{"x": "0", "y": "0"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{W("x", "1"), W("y", "1"), C()}},
+			{Name: "t2", Ops: []Op{W("x", "2"), W("y", "2"), C()}},
+		},
+		Schedule:  []string{"t1", "t2", "t2", "t1", "t1", "t2"},
+		Anomalous: func(o *Outcome) bool { return o.Final["x"] != o.Final["y"] },
+	}
+}

@@ -1,0 +1,23 @@
+package anomaly
+
+// LostUpdate (P4): both transactions read the same balance and apply an
+// increment; if both commit, one increment vanishes (final 15 instead of
+// 20). This is THE anomaly behind both fixed CC bugs — the hot-4layer
+// w_ytd/d_ytd drift and the TSO-non-leaf double read — which makes it the
+// suite's most load-bearing pattern. Admitted by read committed.
+func LostUpdate() *Pattern {
+	inc := func(reads []string) string { return itoa(atoi(reads[len(reads)-1]) + 5) }
+	return &Pattern{
+		Name:    "lost-update",
+		Initial: map[string]string{"x": "10"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{R("x"), WF("x", inc), C()}},
+			{Name: "t2", Ops: []Op{R("x"), WF("x", inc), C()}},
+		},
+		Schedule: []string{"t1", "t2", "t1", "t1", "t2", "t2"},
+		Anomalous: func(o *Outcome) bool {
+			return o.Committed["t1"] && o.Committed["t2"] && o.Final["x"] == "15"
+		},
+		ReadCommitted: true,
+	}
+}

@@ -1,0 +1,22 @@
+package anomaly
+
+// NonRepeatableRead (ANSI P2 "fuzzy read"): t1 reads x twice and a
+// committed write by t2 slips in between, so the two reads disagree within
+// one transaction. Admitted by read committed; forbidden from serializable
+// histories (there is no serial position for t1 that explains both reads).
+func NonRepeatableRead() *Pattern {
+	return &Pattern{
+		Name:    "non-repeatable-read",
+		Initial: map[string]string{"x": "0"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{R("x"), R("x"), C()}},
+			{Name: "t2", Ops: []Op{W("x", "1"), C()}},
+		},
+		Schedule: []string{"t1", "t2", "t2", "t1", "t1"},
+		Anomalous: func(o *Outcome) bool {
+			r := o.ReadsOf("t1")
+			return o.Committed["t1"] && len(r) == 2 && r[0] != r[1]
+		},
+		ReadCommitted: true,
+	}
+}

@@ -1,0 +1,213 @@
+package anomaly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the suite's oracle: pattern programs are deterministic
+// (write values are functions of prior reads), so any claimed execution can
+// be re-run abstractly. Three checks come out of that:
+//
+//   - SimulateSerial: the outcome of running the programs one at a time in
+//     declaration order — every tree must be able to produce it when given
+//     the serial schedule (allowed outcomes stay reachable).
+//   - CheckSerializable: whether an outcome's committed transactions are
+//     view-equivalent to SOME serial order (reads and final state both
+//     match). This is what "forbidden outcome" means for a serializable
+//     tree: the anomaly predicate must not hold, and the outcome must
+//     equal one of the serial executions.
+//   - SimulateNoIsolation: the interleaved schedule run against a single
+//     shared single-version state (read-uncommitted, in-place writes with
+//     rollback pre-images). Every pattern must exhibit its anomaly here,
+//     proving the schedule actually encodes it.
+
+// applyTxn runs one program against state, returning its reads and
+// buffering its writes; committed programs apply their writes, aborting
+// ones do not.
+func applyTxn(t *Txn, state map[string]string) (reads []string, commit bool) {
+	writes := map[string]string{}
+	read := func(k string) string {
+		if v, ok := writes[k]; ok {
+			return v
+		}
+		return state[k]
+	}
+	commit = false
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case OpRead:
+			reads = append(reads, read(op.Key))
+		case OpWrite:
+			writes[op.Key] = op.Val(append([]string(nil), reads...))
+		case OpCommit:
+			commit = true
+		case OpAbort:
+			commit = false
+		}
+	}
+	if commit {
+		for k, v := range writes {
+			state[k] = v
+		}
+	}
+	return reads, commit
+}
+
+// SimulateSerial returns the outcome of executing the programs serially in
+// declaration order.
+func SimulateSerial(p *Pattern) *Outcome {
+	state := map[string]string{}
+	for k, v := range p.Initial {
+		state[k] = v
+	}
+	o := &Outcome{
+		Committed: map[string]bool{},
+		Reads:     map[string][]string{},
+		Errs:      map[string]error{},
+		Final:     map[string]string{},
+	}
+	for i := range p.Txns {
+		t := &p.Txns[i]
+		reads, committed := applyTxn(t, state)
+		o.Reads[t.Name] = reads
+		o.Committed[t.Name] = committed
+	}
+	for _, k := range p.Keys() {
+		o.Final[k] = state[k]
+	}
+	return o
+}
+
+// CheckSerializable reports whether o's committed transactions are
+// view-equivalent to some serial order of exactly those transactions: their
+// observed reads and the final committed state must match a serial
+// re-execution. On success it returns the witnessing order; on failure, a
+// diagnostic.
+func CheckSerializable(p *Pattern, o *Outcome) (string, error) {
+	var committed []string
+	for _, t := range p.Txns {
+		if o.Committed[t.Name] {
+			committed = append(committed, t.Name)
+		}
+	}
+	var diag string
+	for _, order := range permutations(committed) {
+		state := map[string]string{}
+		for k, v := range p.Initial {
+			state[k] = v
+		}
+		ok := true
+		for _, name := range order {
+			reads, _ := applyTxn(p.txn(name), state)
+			if !equalReads(reads, o.Reads[name]) {
+				ok = false
+				diag = fmt.Sprintf("order %v: txn %s read %v, expected %v",
+					order, name, o.Reads[name], reads)
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, k := range p.Keys() {
+			if state[k] != o.Final[k] {
+				ok = false
+				diag = fmt.Sprintf("order %v: final %s=%q, expected %q",
+					order, k, o.Final[k], state[k])
+				break
+			}
+		}
+		if ok {
+			return strings.Join(order, "<"), nil
+		}
+	}
+	if len(committed) == 0 {
+		return "", nil // nothing committed: trivially serializable
+	}
+	return "", fmt.Errorf("no serial order of %v explains the outcome (last mismatch: %s)", committed, diag)
+}
+
+func equalReads(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func permutations(names []string) [][]string {
+	if len(names) == 0 {
+		return [][]string{{}}
+	}
+	var out [][]string
+	for i := range names {
+		rest := make([]string, 0, len(names)-1)
+		rest = append(rest, names[:i]...)
+		rest = append(rest, names[i+1:]...)
+		for _, sub := range permutations(rest) {
+			out = append(out, append([]string{names[i]}, sub...))
+		}
+	}
+	return out
+}
+
+// SimulateNoIsolation executes the pattern's interleaved schedule against a
+// single-version shared state with no concurrency control at all: reads see
+// the latest write (committed or not), writes apply in place, aborts
+// restore pre-images. This is the anomaly's "it really happens" witness.
+func SimulateNoIsolation(p *Pattern) *Outcome {
+	state := map[string]string{}
+	for k, v := range p.Initial {
+		state[k] = v
+	}
+	type tstate struct {
+		reads     []string
+		preimages map[string]string
+		committed bool
+	}
+	ts := map[string]*tstate{}
+	for _, t := range p.Txns {
+		ts[t.Name] = &tstate{preimages: map[string]string{}}
+	}
+	next := map[string]int{}
+	for _, name := range p.Schedule {
+		t := p.txn(name)
+		s := ts[name]
+		op := t.Ops[next[name]]
+		next[name]++
+		switch op.Kind {
+		case OpRead:
+			s.reads = append(s.reads, state[op.Key])
+		case OpWrite:
+			if _, saved := s.preimages[op.Key]; !saved {
+				s.preimages[op.Key] = state[op.Key]
+			}
+			state[op.Key] = op.Val(append([]string(nil), s.reads...))
+		case OpCommit:
+			s.committed = true
+		case OpAbort:
+			for k, v := range s.preimages {
+				state[k] = v
+			}
+		}
+	}
+	o := &Outcome{
+		Committed: map[string]bool{},
+		Reads:     map[string][]string{},
+		Errs:      map[string]error{},
+		Final:     map[string]string{},
+	}
+	for name, s := range ts {
+		o.Committed[name] = s.committed
+		o.Reads[name] = s.reads
+	}
+	for _, k := range p.Keys() {
+		o.Final[k] = state[k]
+	}
+	return o
+}

@@ -1,0 +1,25 @@
+package anomaly
+
+// PhantomRead (ANSI P3): t1 scans a predicate twice and t2 commits an
+// insert satisfying it in between, so a row materialises mid-transaction.
+// The store is point-access, so the predicate is modelled as a scan over a
+// fixed keyset {p0,p1,p2} with absence encoded as the empty value — the
+// same way key-range phantoms reduce to next-key reads. Admitted by read
+// committed; serializable trees must either give t1 a stable scan or keep
+// one of the two out.
+func PhantomRead() *Pattern {
+	return &Pattern{
+		Name:    "phantom-read",
+		Initial: map[string]string{"p0": "a", "p1": "b"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{R("p0"), R("p1"), R("p2"), R("p0"), R("p1"), R("p2"), C()}},
+			{Name: "t2", Ops: []Op{W("p2", "c"), C()}},
+		},
+		Schedule: []string{"t1", "t1", "t1", "t2", "t2", "t1", "t1", "t1", "t1"},
+		Anomalous: func(o *Outcome) bool {
+			r := o.ReadsOf("t1")
+			return o.Committed["t1"] && len(r) == 6 && r[2] == "" && r[5] == "c"
+		},
+		ReadCommitted: true,
+	}
+}

@@ -1,0 +1,41 @@
+package anomaly
+
+// ReadOnlyAnomaly (Fekete/O'Neil/O'Neil): checking account x and savings
+// account y, both 0. t1 deposits 20 into savings; t2 withdraws 10 from
+// checking, paying a 1 overdraft penalty if the combined balance cannot
+// cover it; t3 is a pure reader. The anomalous history commits all three
+// with t3 observing (x=0, y=20) yet a final x of -11: t3's view forces
+// t1 < t3 < t2 in any serial order, but then t2 would have seen the
+// deposit and charged no penalty. The read-only t3 is what makes the
+// history non-serializable. Admitted by read committed (and SI).
+func ReadOnlyAnomaly() *Pattern {
+	withdraw := func(reads []string) string {
+		x, y := atoi(reads[0]), atoi(reads[1])
+		if x+y >= 10 {
+			return itoa(x - 10)
+		}
+		return itoa(x - 11) // overdraft penalty
+	}
+	deposit := func(reads []string) string { return itoa(atoi(reads[0]) + 20) }
+	return &Pattern{
+		Name:    "read-only-anomaly",
+		Initial: map[string]string{"x": "0", "y": "0"},
+		Txns: []Txn{
+			{Name: "t1", Ops: []Op{R("y"), WF("y", deposit), C()}},
+			{Name: "t2", Ops: []Op{R("x"), R("y"), WF("x", withdraw), C()}},
+			{Name: "t3", Ops: []Op{R("x"), R("y"), C()}},
+		},
+		Schedule: []string{
+			"t2", "t2", // t2 reads x=0, y=0
+			"t1", "t1", "t1", // t1 deposits and commits
+			"t3", "t3", "t3", // t3 sees the deposit but not the withdrawal
+			"t2", "t2", // t2 withdraws with penalty and commits
+		},
+		Anomalous: func(o *Outcome) bool {
+			r := o.ReadsOf("t3")
+			return o.Committed["t1"] && o.Committed["t2"] && o.Committed["t3"] &&
+				len(r) == 2 && r[0] == "0" && r[1] == "20" && o.Final["x"] == "-11"
+		},
+		ReadCommitted: true,
+	}
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Deterministic regressions for the two race-timing CC bugs fixed in this
+// tree. Both are reproduced by client-driven interleaving on a single
+// goroutine — no sleeps, no scheduler dependence — so the fixes cannot
+// silently regress even in builds without the race detector.
+
+// TestRPNonLeafKeepsSameChildProposal pins bug (1): in the hot-4layer
+// RP-over-(RP|2PL) nesting, the non-leaf RP dropped a same-child
+// step-committed pending proposal (its first-clause guard required
+// !StepCommitted) and its candidate scan skipped all same-child versions,
+// substituting stale committed history. A payment-shaped transaction
+// pipelining behind another thus read the warehouse's OLD balance while
+// later reading the district's NEW one — the w_ytd/d_ytd drift.
+//
+// The interleaving: p1 writes table w, then table d (entering d's step
+// step-commits and exposes the w write); p2 then reads w. The leaf RP
+// correctly proposes p1's exposed pending write; the non-leaf RP must keep
+// that proposal, not replace it with the committed initial value.
+func TestRPNonLeafKeepsSameChildProposal(t *testing.T) {
+	specs := []*core.Spec{
+		{Name: "p", Tables: []string{"w", "d"}, WriteTables: []string{"w", "d"}},
+		{Name: "h", Tables: []string{"w", "d"}, WriteTables: []string{"w", "d"}},
+	}
+	cfg := G(KindRP, nil, G(KindRP, []string{"p"}), G(Kind2PL, []string{"h"}))
+	e, err := New(Options{Shards: 2, LockTimeout: 2 * time.Second, GCInterval: -1}, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	kw := core.KeyOf("w", 0)
+	kd := core.KeyOf("d", 0)
+	e.Load(kw, []byte("init-w"))
+	e.Load(kd, []byte("init-d"))
+
+	p1, err := e.Begin("p", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Write(kw, []byte("p1-w")); err != nil {
+		t.Fatal(err)
+	}
+	// Entering table d's pipeline step exposes (step-commits) the w write
+	// and releases its intra-step lock.
+	if err := p1.Write(kd, []byte("p1-d")); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := e.Begin("p", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Read(kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "p1-w" {
+		t.Fatalf("p2 read w = %q, want the exposed pipeline-predecessor write %q (stale read: bug (1))",
+			got, "p1-w")
+	}
+
+	if err := p1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := p2.Read(kd); err != nil || string(got) != "p1-d" {
+		t.Fatalf("p2 read d = %q, %v; want %q", got, err, "p1-d")
+	}
+	if err := p2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTSONonLeafSameBatchRTS pins bug (2): TSO as a non-leaf skipped
+// same-group versions when applying the read-timestamp rule, so a
+// same-batch writer could supersede a version a larger-timestamped
+// cross-batch reader had already read — a committed lost update (the
+// tso-nonleaf DSG cycles under -race).
+//
+// The interleaving: a1 and a2 share a batch (timestamp T); a1 writes x and
+// commits; b1, in a later batch, reads a1's version (recording its read
+// timestamp on it); a2 then writes x at the same batch timestamp T,
+// superseding the version b1 read. The write must be refused.
+func TestTSONonLeafSameBatchRTS(t *testing.T) {
+	specs := []*core.Spec{
+		{Name: "a", Tables: []string{"t"}, WriteTables: []string{"t"}},
+		{Name: "b", Tables: []string{"t"}, WriteTables: []string{"t"}},
+	}
+	cfg := G(KindTSO, nil, G(Kind2PL, []string{"a"}), G(Kind2PL, []string{"b"}))
+	e, err := New(Options{
+		Shards:      2,
+		LockTimeout: 2 * time.Second,
+		GCInterval:  -1,
+		// Keep the a-batch open across the whole interleaving so a1 and
+		// a2 genuinely share one timestamp.
+		BatchAge: time.Hour,
+	}, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	kx := core.KeyOf("t", 0)
+	e.Load(kx, []byte("init"))
+
+	a1, err := e.Begin("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Begin("a", 0) // joins a1's batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Write(kx, []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b1, err := e.Begin("b", 0) // later batch, larger timestamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b1.Read(kx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a1" {
+		t.Fatalf("b1 read %q, want %q", got, "a1")
+	}
+
+	// a2 writes at the shared batch timestamp, behind b1's read. Admitting
+	// this write is the lost update: b1 (serialized after the whole
+	// a-batch) would have missed it.
+	if err := a2.Write(kx, []byte("a2")); err == nil {
+		t.Fatalf("a2's write behind b1's read was admitted (lost update: bug (2))")
+	}
+
+	if err := b1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.ReadCommitted(kx); string(v) != "a1" {
+		t.Fatalf("final x = %q, want %q", v, "a1")
+	}
+}

@@ -358,16 +358,6 @@ func TestSerializabilityAcrossTrees(t *testing.T) {
 			keys, workers, txns = 24, 4, 40
 		}
 		t.Run(name, func(t *testing.T) {
-			if name == "tso-nonleaf" && raceDetectorEnabled {
-				// Known pre-existing bug (reproducible on the seed
-				// commit with `go test -race -count 10`): under the
-				// race detector's timing, TSO as a non-leaf over 2PL
-				// children admits a lost update (two transactions
-				// read the same version and both commit writes).
-				// Skipped only under -race so the tier-1 suite still
-				// exercises it; tracked as a ROADMAP open item.
-				t.Skip("tso-nonleaf lost update under -race timing (pre-existing; see ROADMAP)")
-			}
 			t.Parallel()
 			h := runHistory(t, cfg, []string{"u1", "u2"}, keys, workers, txns)
 			if len(h.txns) == 0 {

@@ -53,8 +53,16 @@ type shard struct {
 type lock struct {
 	owners  map[*core.Txn]Mode
 	waiters int
-	// gen is closed and replaced whenever the owner set shrinks, waking
-	// waiters to re-check compatibility.
+	// upgrading marks owners currently waiting to upgrade Shared ->
+	// Exclusive. Two such owners deadlock unresolvably (each waits for the
+	// other's Shared hold); the set lets the conflict be detected and
+	// killed instantly instead of burning the full lock timeout — under
+	// retry-loop clients the timeout path livelocks: both upgraders time
+	// out together, retry, re-read (Shared never blocks), and re-deadlock,
+	// while every other transaction touching the row piles up behind them.
+	upgrading map[*core.Txn]bool
+	// gen is closed and replaced whenever the owner set shrinks (or an
+	// upgrader joins the wait), waking waiters to re-check compatibility.
 	gen chan struct{}
 }
 
@@ -105,6 +113,12 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 		}
 	}
 
+	cleanupUpgrade := func(l *lock) {
+		if l.upgrading != nil {
+			delete(l.upgrading, txn)
+		}
+	}
+
 	for {
 		s.mu.Lock()
 		l := s.locks[k]
@@ -113,9 +127,14 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 			s.locks[k] = l
 		}
 		if held, ok := l.owners[txn]; ok && (held == Exclusive || held == m) {
+			cleanupUpgrade(l)
 			s.mu.Unlock()
 			flush(time.Now())
 			return nil
+		}
+		upgrade := false
+		if held, ok := l.owners[txn]; ok && held == Shared && m == Exclusive {
+			upgrade = true
 		}
 		var conflictOwner *core.Txn
 		for o, om := range l.owners {
@@ -124,7 +143,34 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 				break
 			}
 		}
+		if upgrade && conflictOwner != nil {
+			// Another Shared holder also waiting to upgrade means an
+			// unresolvable deadlock: kill the younger upgrader now
+			// (ErrConflict is retryable; the retry re-reads and re-queues
+			// with a fresh, larger ID, so the oldest upgrader always
+			// wins and the pair resolves in microseconds, not timeouts).
+			for o, om := range l.owners {
+				if o != txn && om == Shared && l.upgrading[o] &&
+					t.conflicts(o, om, txn, m) && txn.ID > o.ID {
+					cleanupUpgrade(l)
+					s.mu.Unlock()
+					flush(time.Now())
+					return core.ErrConflict
+				}
+			}
+			// We will wait: publish the upgrade and wake current waiters
+			// so a younger sleeping upgrader re-checks and kills itself.
+			if l.upgrading == nil {
+				l.upgrading = make(map[*core.Txn]bool, 2)
+			}
+			if !l.upgrading[txn] {
+				l.upgrading[txn] = true
+				close(l.gen)
+				l.gen = make(chan struct{})
+			}
+		}
 		if conflictOwner == nil {
+			cleanupUpgrade(l)
 			// Grant; record ordering dependencies on remaining
 			// non-exempt owners (pure rw compatibility: S after S
 			// needs no edge).
@@ -148,14 +194,14 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 		// The conflicting owner must finish (or step-release) before
 		// us: a lock-order dependency.
 		if err := txn.AddDep(conflictOwner, false); err != nil {
-			t.doneWaiting(s, k)
+			t.doneWaiting(s, k, txn, true)
 			flush(time.Now())
 			return err
 		}
 
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			t.doneWaiting(s, k)
+			t.doneWaiting(s, k, txn, true)
 			flush(time.Now())
 			return core.ErrTimeout
 		}
@@ -164,18 +210,25 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 		case <-gen:
 			timer.Stop()
 		case <-timer.C:
-			t.doneWaiting(s, k)
+			t.doneWaiting(s, k, txn, true)
 			flush(time.Now())
 			return core.ErrTimeout
 		}
-		t.doneWaiting(s, k)
+		// Keep any upgrade mark across the re-check loop: the wait
+		// continues until granted or terminal.
+		t.doneWaiting(s, k, txn, false)
 	}
 }
 
-func (t *Table) doneWaiting(s *shard, k core.Key) {
+// doneWaiting retires one wait registration; terminal additionally clears
+// txn's published upgrade-wait mark (the wait will not resume).
+func (t *Table) doneWaiting(s *shard, k core.Key, txn *core.Txn, terminal bool) {
 	s.mu.Lock()
 	if l := s.locks[k]; l != nil {
 		l.waiters--
+		if terminal && l.upgrading != nil {
+			delete(l.upgrading, txn)
+		}
 		if l.waiters == 0 && len(l.owners) == 0 {
 			delete(s.locks, k)
 		}
@@ -191,6 +244,9 @@ func (t *Table) Release(txn *core.Txn, k core.Key) {
 	if l != nil {
 		if _, ok := l.owners[txn]; ok {
 			delete(l.owners, txn)
+			if l.upgrading != nil {
+				delete(l.upgrading, txn)
+			}
 			close(l.gen)
 			l.gen = make(chan struct{})
 			if l.waiters == 0 && len(l.owners) == 0 {

@@ -116,6 +116,130 @@ func TestUpgrade(t *testing.T) {
 	}
 }
 
+// TestUpgradeDeadlock: two shared holders both requesting the upgrade is the
+// classic unresolvable S->X deadlock — each waits for the other's S to go
+// away. The table must kill the younger upgrader immediately with a
+// retryable conflict (NOT let both burn the full lock timeout: under
+// retry-loop clients that path livelocks — both time out together, re-read,
+// and re-deadlock). Once the loser releases its Shared hold, the older
+// upgrader's X must be granted.
+func TestUpgradeDeadlock(t *testing.T) {
+	tbl := New(env(10*time.Second), nil) // huge timeout: resolution must NOT come from it
+	k := core.K("t", "x")
+	a, b := txn(1, "a"), txn(2, "b") // a is older (smaller ID)
+	if err := tbl.Acquire(a, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Acquire(b, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	aErr := make(chan error, 1)
+	go func() { aErr <- tbl.Acquire(a, k, Exclusive) }()
+	// The younger upgrader must die quickly whether it joins before or
+	// after the older one sleeps.
+	start := time.Now()
+	err := tbl.Acquire(b, k, Exclusive)
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("younger upgrader got %v, want ErrConflict", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("upgrade deadlock took %v to resolve, want immediate kill", d)
+	}
+	tbl.Release(b, k) // loser aborts, dropping its Shared hold
+	if err := <-aErr; err != nil {
+		t.Fatalf("older upgrader failed: %v", err)
+	}
+	if !tbl.Holds(a, k) {
+		t.Fatal("winner does not hold the lock")
+	}
+	// Drain: after the winner releases, a fresh transaction gets X
+	// immediately (no residual owners, waiters, or upgrade marks).
+	tbl.Release(a, k)
+	c := txn(3, "c")
+	if err := tbl.Acquire(c, k, Exclusive); err != nil {
+		t.Fatalf("lock not clean after upgrade deadlock: %v", err)
+	}
+}
+
+// TestUpgradeAfterPeerReleases: the successful upgrade path — the other
+// shared holder releases, the upgrade completes, and the upgrader ends up
+// with a single Exclusive hold that still blocks new readers.
+func TestUpgradeAfterPeerReleases(t *testing.T) {
+	tbl := New(env(time.Second), nil)
+	k := core.K("t", "x")
+	a, b := txn(1, "a"), txn(2, "b")
+	if err := tbl.Acquire(a, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Acquire(b, k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- tbl.Acquire(a, k, Exclusive) }()
+	select {
+	case err := <-upgraded:
+		t.Fatalf("upgrade granted against a live S holder: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tbl.Release(b, k)
+	if err := <-upgraded; err != nil {
+		t.Fatal(err)
+	}
+	// The upgrader waited on b: dependency recorded.
+	deps := a.Deps()
+	if len(deps) != 1 || deps[0].T != b {
+		t.Fatalf("deps = %+v, want [b]", deps)
+	}
+	// A new reader must block against the upgraded X.
+	c := txn(3, "c")
+	got := make(chan error, 1)
+	go func() { got <- tbl.Acquire(c, k, Shared) }()
+	select {
+	case err := <-got:
+		t.Fatalf("S granted against upgraded X: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tbl.Release(a, k)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseWakesAllSharedWaiters: one X release must wake every queued
+// reader, not just one — shared waiters are mutually compatible and must be
+// admitted together.
+func TestReleaseWakesAllSharedWaiters(t *testing.T) {
+	tbl := New(env(2*time.Second), nil)
+	k := core.K("t", "x")
+	w := txn(1, "w")
+	if err := tbl.Acquire(w, k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	var granted atomic.Int32
+	started := make(chan struct{}, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			started <- struct{}{}
+			if err := tbl.Acquire(txn(10+id, "r"), k, Shared); err == nil {
+				granted.Add(1)
+			}
+		}(uint64(i))
+	}
+	for i := 0; i < readers; i++ {
+		<-started
+	}
+	time.Sleep(20 * time.Millisecond) // let the readers reach the wait
+	tbl.Release(w, k)
+	wg.Wait()
+	if granted.Load() != readers {
+		t.Fatalf("only %d/%d shared waiters woken by one X release", granted.Load(), readers)
+	}
+}
+
 func TestNexusExemption(t *testing.T) {
 	// Exempt pairs with equal types: same-child stand-in.
 	tbl := New(env(30*time.Millisecond), func(x, y *core.Txn) bool { return x.Type == y.Type })

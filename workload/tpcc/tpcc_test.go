@@ -138,16 +138,6 @@ func TestTPCCHotItemConfigs(t *testing.T) {
 	} {
 		cfg := cfg
 		t.Run(name, func(t *testing.T) {
-			if name == "hot-4layer" && raceDetectorEnabled {
-				// Known pre-existing bug (predates the checkpoint
-				// subsystem): under the race detector's timing the
-				// RP-over-(RP|2PL) nesting loses payment's
-				// w_ytd/d_ytd atomicity. Reproducible on the seed
-				// commit with `go test -race -count 1`; tracked as a
-				// ROADMAP open item. Skipped only under -race so the
-				// tier-1 suite still exercises it.
-				t.Skip("hot-4layer payment atomicity fails under -race timing (pre-existing; see ROADMAP)")
-			}
 			t.Parallel()
 			db, c := openSmall(t, cfg, true)
 			defer db.Close()
