@@ -1,0 +1,142 @@
+// Package analysistest runs a tebaldivet analyzer over GOPATH-style golden
+// packages under the calling test's testdata/src tree and checks the
+// diagnostics against `// want "regex"` comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract (which this module
+// cannot depend on — see internal/analysis/framework).
+//
+// A want comment declares, on the line a diagnostic is expected, one or more
+// Go-quoted regular expressions that must each match one diagnostic message
+// reported on that line:
+//
+//	mu.Lock()
+//	return // want `mu acquired here is not released`
+//
+// Unexpected diagnostics and unmatched expectations are both test failures.
+// Suppressed findings (see framework.Suppressions) never reach the matcher,
+// so a `//lint:allow` site with no want comment asserts the suppression
+// works.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each import path from ./testdata/src, applies the analyzer, and
+// reports diagnostic/expectation mismatches through t.
+func Run(t *testing.T, a *framework.Analyzer, importPaths ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &load.SourceLoader{
+		Fset:    token.NewFileSet(),
+		SrcRoot: filepath.Join(wd, "testdata", "src"),
+		Exports: &load.Exports{ModuleDir: wd},
+	}
+	for _, path := range importPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := framework.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*framework.Analyzer{a})
+		if err != nil {
+			t.Errorf("analyzing %s: %v", path, err)
+			continue
+		}
+		expects := collectWants(t, pkg.Fset, pkg.Files)
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			if !claim(expects, p.Filename, p.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %s", e.file, e.line, e.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose pattern
+// matches msg, reporting whether one existed.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the `// want "p1" "p2"` comments of the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitPatterns(strings.TrimPrefix(text, "want ")) {
+					pat, err := unquote(raw)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s: %v", pos, raw, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, raw, err)
+						continue
+					}
+					out = append(out, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// patternRE matches one Go string literal (interpreted or raw).
+var patternRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+func splitPatterns(s string) []string {
+	return patternRE.FindAllString(s, -1)
+}
+
+func unquote(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") {
+		return strings.Trim(raw, "`"), nil
+	}
+	return strconv.Unquote(raw)
+}

@@ -1,0 +1,118 @@
+// Package atomicmix implements the tebaldivet analyzer that forbids mixing
+// sync/atomic and plain accesses to the same struct field.
+//
+// A field that is loaded or stored through sync/atomic anywhere must be
+// accessed atomically at *every* site: one plain load next to an
+// atomic.AddUint64 is a data race the race detector only catches if the
+// interleaving happens to fire. The engine's counters, the WAL ticket
+// bookkeeping and the version-chain heads all migrated to the typed
+// atomic.Uint64/Bool wrappers (which make mixing impossible); this analyzer
+// keeps the invariant for any remaining or future function-style usage.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc: "report struct fields accessed both through sync/atomic and " +
+		"through plain loads/stores",
+	Run: run,
+}
+
+// atomicFns are the function-style sync/atomic entry points whose first
+// argument is the address of the guarded word.
+var atomicFnPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicFn(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range atomicFnPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	// Pass 1: fields whose address reaches a sync/atomic call, plus the
+	// exact selector nodes used there (they are the sanctioned accesses).
+	atomicFields := map[*types.Var]token.Pos{}
+	sanctioned := map[ast.Node]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !isAtomicFn(fn) {
+			return true
+		}
+		addr, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		target, ok := addr.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f := fieldOf(pass.TypesInfo, target); f != nil {
+			if _, seen := atomicFields[f]; !seen {
+				atomicFields[f] = call.Pos()
+			}
+			sanctioned[target] = true
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector reaching one of those fields is a mixed
+	// plain access.
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		f := fieldOf(pass.TypesInfo, sel)
+		if f == nil {
+			return true
+		}
+		first, ok := atomicFields[f]
+		if !ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed with sync/atomic at %s but plainly here: every access must be atomic",
+			f.Name(), pass.Fset.Position(first))
+		return true
+	})
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

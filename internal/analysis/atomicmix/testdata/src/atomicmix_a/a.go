@@ -1,0 +1,46 @@
+// Package atomicmix_a exercises the atomicmix analyzer: a field touched by
+// function-style sync/atomic anywhere must be accessed atomically
+// everywhere; typed atomics and untouched fields stay unrestricted.
+package atomicmix_a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// mixedRead loads hits plainly after bump made it an atomic field.
+func mixedRead(c *counter) uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic at .* but plainly here`
+}
+
+// mixedWrite stores hits plainly.
+func mixedWrite(c *counter) {
+	c.hits = 0 // want `field hits is accessed with sync/atomic at .* but plainly here`
+}
+
+// allAtomic keeps every access atomic: silent.
+func allAtomic(c *counter) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// plainOnly fields never touched by sync/atomic stay unrestricted.
+func plainOnly(c *counter) uint64 {
+	c.total++
+	return c.total
+}
+
+type typed struct {
+	n atomic.Uint64
+}
+
+// typedAtomic wrappers make mixing impossible by construction: silent.
+func typedAtomic(t *typed) uint64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

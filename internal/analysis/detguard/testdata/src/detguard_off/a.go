@@ -1,0 +1,16 @@
+// Package detguard_off carries no tebaldi:deterministic directive: the
+// analyzer must stay silent regardless of content.
+package detguard_off
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now()
+}
+
+func firstWins(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}

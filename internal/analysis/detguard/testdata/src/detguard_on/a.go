@@ -1,0 +1,76 @@
+// Package detguard_on opts into determinism checking and exercises every
+// detguard rule: wall-clock reads, global rand draws, and map-iteration-
+// order dependence — plus the legal patterns (watchdog timers, seeded
+// sources, sorted or order-insensitive map consumption).
+//
+// tebaldi:deterministic
+package detguard_on
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand\.Intn uses the global rand source`
+}
+
+// seededRand draws from a caller-seeded private source: silent.
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// watchdog bounds waiting without steering results: time.After is legal.
+func watchdog(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}
+
+// firstWins returns whichever element the map hands out first.
+func firstWins(m map[string]int) int {
+	for _, v := range m { // want `return/break inside a map range`
+		return v
+	}
+	return 0
+}
+
+// collectUnsorted builds a slice in iteration order and never sorts it.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map range appends keys in iteration order`
+	}
+	return keys
+}
+
+// collectSorted sorts before returning: silent.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumValues is order-insensitive: silent.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract, shaped so the tebaldivet
+// analyzers could be ported to the real framework verbatim if the module
+// ever grows the x/tools dependency. The container this repo builds in has
+// no module proxy access, so the framework — like everything else here — is
+// stdlib only.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus facts and requires.
+type Analyzer struct {
+	// Name is the check's identifier, used in output and in
+	// //lint:allow suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by `tebaldivet -help`.
+	Doc string
+	// Run performs the check on one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// findings: suppressed findings (see Suppressions) are dropped, and the
+// rest are sorted by position. Analyzer errors are returned as-is.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := CollectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !sup.Allows(fset, a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Suppressions maps file -> line -> analyzer names allowed on that line.
+// A finding is suppressed by a comment of the form
+//
+//	//lint:allow <analyzer> -- <justification>
+//
+// on the finding's line or the line directly above it. The justification
+// is mandatory: a bare allow without a reason does not suppress.
+type Suppressions map[string]map[int][]string
+
+// CollectSuppressions scans the files' comments for //lint:allow markers.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
+	sup := Suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				name, reason, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue // no justification: not a valid suppression
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					sup[pos.Filename] = m
+				}
+				for _, n := range strings.Fields(name) {
+					m[pos.Line] = append(m[pos.Line], n)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Allows reports whether analyzer name is suppressed at pos.
+func (s Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := s[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range m[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Inspect walks every file with ast.Inspect.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// HasDirective reports whether any comment in the package equals
+// "tebaldi:<name>" (package-scoped opt-in markers, e.g.
+// tebaldi:deterministic).
+func HasDirective(files []*ast.File, name string) bool {
+	want := "tebaldi:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

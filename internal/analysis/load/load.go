@@ -1,0 +1,282 @@
+// Package load type-checks Go packages for the tebaldivet analyzers using
+// only the standard library: package metadata and compiled export data come
+// from `go list -export`, dependencies are imported through the stdlib gc
+// importer, and only the packages under analysis are parsed from source.
+// This is the offline stand-in for golang.org/x/tools/go/packages.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir for the patterns and
+// returns the decoded entries.
+func goList(dir string, patterns []string) ([]*listEntry, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// Exports resolves import paths to gc export data files, shelling out to
+// `go list -export` on cache misses. It is the importer backing both the
+// repo driver and the analysistest testdata loader.
+type Exports struct {
+	ModuleDir string
+	files     map[string]string
+}
+
+// lookup returns a reader for path's export data, or nil if unknown.
+func (x *Exports) lookup(path string) (io.ReadCloser, error) {
+	if x.files == nil {
+		x.files = map[string]string{}
+	}
+	if f, ok := x.files[path]; ok {
+		return os.Open(f)
+	}
+	entries, err := goList(x.ModuleDir, []string{path})
+	if err != nil {
+		return nil, err
+	}
+	x.add(entries)
+	if f, ok := x.files[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func (x *Exports) add(entries []*listEntry) {
+	if x.files == nil {
+		x.files = map[string]string{}
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			x.files[e.ImportPath] = e.Export
+		}
+	}
+}
+
+// NewInfo returns a types.Info with every map the analyzers use.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Packages loads and type-checks the module packages matching patterns
+// (e.g. "./..."), rooted at moduleDir. Standard-library and dependency-only
+// packages are imported from export data, not analyzed. Test files are
+// included — in-package tests compiled with their package, external _test
+// packages as their own entry — so the standalone driver sees exactly the
+// units `go vet -vettool` sees.
+func Packages(moduleDir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := &Exports{ModuleDir: moduleDir}
+	exports.add(entries)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.lookup)
+
+	parse := func(dir string, names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+		}
+		files, err := parse(e.Dir, append(append([]string{}, e.GoFiles...), e.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+		if len(e.XTestGoFiles) > 0 {
+			xfiles, err := parse(e.Dir, e.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			xinfo := NewInfo()
+			xpkg, err := conf.Check(e.ImportPath+"_test", fset, xfiles, xinfo)
+			if err != nil {
+				return nil, fmt.Errorf("type-checking %s_test: %v", e.ImportPath, err)
+			}
+			pkgs = append(pkgs, &Package{
+				ImportPath: e.ImportPath + "_test",
+				Dir:        e.Dir,
+				Fset:       fset,
+				Files:      xfiles,
+				Types:      xpkg,
+				Info:       xinfo,
+			})
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// SourceLoader type-checks packages from a GOPATH-style source tree
+// (testdata/src/<importpath>/*.go), resolving imports first against the
+// tree itself and then against the surrounding module's export data. It is
+// the loader behind the analysistest harness.
+type SourceLoader struct {
+	Fset    *token.FileSet
+	SrcRoot string
+	Exports *Exports
+
+	pkgs  map[string]*Package
+	types map[string]*types.Package
+	gc    types.Importer
+}
+
+// Load parses and type-checks the tree package at import path.
+func (l *SourceLoader) Load(path string) (*Package, error) {
+	if l.pkgs == nil {
+		l.pkgs = map[string]*Package{}
+		l.types = map[string]*types.Package{}
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, de.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: (*sourceFirstImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{ImportPath: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	l.types[path] = tpkg
+	return p, nil
+}
+
+// sourceFirstImporter resolves testdata-tree packages from source and
+// everything else from module export data.
+type sourceFirstImporter SourceLoader
+
+func (imp *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	l := (*SourceLoader)(imp)
+	if tp, ok := l.types[path]; ok {
+		return tp, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.SrcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	// One shared gc importer keeps dependency type identity consistent
+	// across the testdata packages of a run.
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.Fset, "gc", l.Exports.lookup)
+	}
+	return l.gc.Import(path)
+}

@@ -1,0 +1,52 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, Analyzer, "lockorder_a")
+}
+
+// TestFindCycle checks the declared-order cycle detector directly: a cyclic
+// declaration legalizes a deadlock and must itself be an error.
+func TestFindCycle(t *testing.T) {
+	cyclic := map[edge]bool{
+		{"a.X.mu", "a.Y.mu"}: true,
+		{"a.Y.mu", "a.Z.mu"}: true,
+		{"a.Z.mu", "a.X.mu"}: true,
+	}
+	cyc := findCycle(cyclic)
+	if len(cyc) != 3 {
+		t.Fatalf("findCycle(cyclic) = %v, want a 3-edge cycle", cyc)
+	}
+	for _, e := range cyc {
+		if !cyclic[e] {
+			t.Fatalf("findCycle returned undeclared edge %v", e)
+		}
+	}
+
+	acyclic := map[edge]bool{
+		{"a.X.mu", "a.Y.mu"}: true,
+		{"a.Y.mu", "a.Z.mu"}: true,
+		{"a.X.mu", "a.Z.mu"}: true,
+	}
+	if cyc := findCycle(acyclic); cyc != nil {
+		t.Fatalf("findCycle(acyclic) = %v, want nil", cyc)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	edges := map[edge]bool{
+		{"a", "b"}: true,
+		{"b", "c"}: true,
+	}
+	if !reachable(edges, "a", "c") {
+		t.Error("a should reach c transitively")
+	}
+	if reachable(edges, "c", "a") {
+		t.Error("c must not reach a")
+	}
+}

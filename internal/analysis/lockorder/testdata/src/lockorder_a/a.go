@@ -1,0 +1,101 @@
+// Package lockorder_a exercises the lockorder analyzer: declared edges
+// (field annotations and package directives), undeclared and inverted
+// nestings, same-class nesting, and edges observed through call summaries.
+//
+// tebaldi:locks order lockorder_a.shard.mu < lockorder_a.journal.mu
+package lockorder_a
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type shard struct {
+	// tebaldi:locks after lockorder_a.registry.mu
+	mu sync.Mutex
+}
+
+type journal struct {
+	mu sync.Mutex
+}
+
+type queue struct {
+	mu sync.Mutex
+}
+
+// declaredNesting matches the field-annotated order registry < shard.
+func declaredNesting(r *registry, s *shard) {
+	r.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// orderDirective matches the package-level order shard < journal.
+func orderDirective(s *shard, j *journal) {
+	s.mu.Lock()
+	j.mu.Lock()
+	j.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// transitive is covered by registry < shard < journal reachability.
+func transitive(r *registry, j *journal) {
+	r.mu.Lock()
+	j.mu.Lock()
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// undeclaredNesting acquires queue.mu under registry.mu with no declaration.
+func undeclaredNesting(r *registry, q *queue) {
+	r.mu.Lock()
+	q.mu.Lock() // want `acquiring lockorder_a\.queue\.mu while holding lockorder_a\.registry\.mu: edge is not in the declared lock order`
+	q.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// invertedNesting acquires registry.mu under shard.mu, inverting the
+// declared order.
+func invertedNesting(r *registry, s *shard) {
+	s.mu.Lock()
+	r.mu.Lock() // want `this nesting inverts it`
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// sameClass locks two shards at once without an instance order.
+func sameClass(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `same-class nesting deadlocks`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// qhelper acquires queue.mu; callers holding another lock observe the edge
+// through qhelper's summary.
+func qhelper(q *queue) {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+// viaHelperDeclared observes registry.mu -> shard.mu through shelper's
+// summary; the edge is declared, so this stays silent.
+func shelper(s *shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func viaHelperDeclared(r *registry, s *shard) {
+	r.mu.Lock()
+	shelper(s)
+	r.mu.Unlock()
+}
+
+// viaHelperUndeclared observes journal.mu -> queue.mu through the summary.
+func viaHelperUndeclared(j *journal, q *queue) {
+	j.mu.Lock()
+	qhelper(q) // want `acquiring lockorder_a\.queue\.mu while holding lockorder_a\.journal\.mu`
+	j.mu.Unlock()
+}

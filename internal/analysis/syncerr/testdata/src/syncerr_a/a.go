@@ -1,0 +1,58 @@
+// Package syncerr_a exercises the syncerr analyzer: every way of discarding
+// a durability-critical error, the handled forms that stay silent, and the
+// justified-suppression escape hatch.
+package syncerr_a
+
+import (
+	"bufio"
+	"internal/kvstore"
+	"os"
+)
+
+func discarded(f *os.File, w *bufio.Writer, st *kvstore.Store) {
+	f.Sync()  // want `error result of \(\*os\.File\)\.Sync is discarded`
+	w.Flush() // want `error result of \(\*bufio\.Writer\)\.Flush is discarded`
+	st.Sync() // want `error result of \(\*internal/kvstore\.Store\)\.Sync is discarded`
+}
+
+func blanked(f *os.File, st *kvstore.Store) {
+	_ = f.Sync()     // want `assigned to _`
+	_ = st.Rewrite() // want `assigned to _`
+}
+
+func deferred(f *os.File) {
+	defer f.Sync() // want `discarded \(deferred\)`
+}
+
+func fireAndForget(st *kvstore.Store) {
+	go st.Close() // want `discarded \(go statement\)`
+}
+
+// checked handles the error: silent.
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// returned propagates the error: silent.
+func returned(st *kvstore.Store) error {
+	return st.Close()
+}
+
+// suppressed carries a justified //lint:allow: silent.
+func suppressed(f *os.File) {
+	//lint:allow syncerr -- error-path teardown; the open error is already being returned
+	f.Sync()
+}
+
+type fake struct{}
+
+// Sync on a non-target type is not durability-critical.
+func (fake) Sync() error { return nil }
+
+// notTarget discards an error outside the curated surface: silent.
+func notTarget(f fake) {
+	f.Sync()
+}

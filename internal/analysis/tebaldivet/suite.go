@@ -1,0 +1,32 @@
+// Package tebaldivet assembles the engine's invariant analyzers into the
+// suite run by cmd/tebaldivet and CI. Each analyzer encodes an invariant
+// this repo has already paid for dynamically (see DESIGN.md, "Invariants
+// as lint"):
+//
+//   - lockorder:  declared mutex partial order, no undeclared/cyclic nesting
+//   - unlockpath: every Lock released on every return/panic path
+//   - syncerr:    no discarded durability-critical errors (fsync, WAL flush)
+//   - atomicmix:  no mixed atomic/plain access to one field
+//   - detguard:   no wall clock / global rand / map-order dependence in
+//     deterministic schedule drivers
+package tebaldivet
+
+import (
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/detguard"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/syncerr"
+	"repro/internal/analysis/unlockpath"
+)
+
+// All returns the tebaldivet analyzers in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		lockorder.Analyzer,
+		unlockpath.Analyzer,
+		syncerr.Analyzer,
+		atomicmix.Analyzer,
+		detguard.Analyzer,
+	}
+}

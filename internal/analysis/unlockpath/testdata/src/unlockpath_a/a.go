@@ -1,0 +1,102 @@
+// Package unlockpath_a exercises the unlockpath analyzer: leaked locks on
+// return and panic paths, self-deadlocking re-acquisition, and the clean
+// patterns that must stay silent.
+package unlockpath_a
+
+import "sync"
+
+type shard struct {
+	mu        sync.Mutex
+	upgrading map[string]bool
+}
+
+type table struct {
+	shards [8]shard
+}
+
+// acquireRetryLeak is the PR 6 lockmgr regression shape: a retry loop that
+// unlocks before continuing but returns with the shard lock held on the
+// timeout path.
+func acquireRetryLeak(t *table, i int, deadline func() bool) bool {
+	sh := &t.shards[i]
+	for {
+		sh.mu.Lock() // want `sh\.mu acquired here is not released on a return path`
+		if sh.upgrading["k"] {
+			sh.mu.Unlock()
+			continue
+		}
+		if deadline() {
+			return false // the timeout path skips the unlock
+		}
+		sh.mu.Unlock()
+		return true
+	}
+}
+
+// panicLeak exits through a panic with the lock held.
+func panicLeak(t *table) {
+	t.shards[0].mu.Lock() // want `t\.shards\[0\]\.mu acquired here is not released on a panic path`
+	if t.shards[0].upgrading == nil {
+		panic("no upgrade map")
+	}
+	t.shards[0].mu.Unlock()
+}
+
+// doubleAcquire re-locks a held (non-reentrant) mutex.
+func doubleAcquire(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want `lock is already held on this path: re-acquiring self-deadlocks`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// deferClean releases through defer on every path.
+func deferClean(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.upgrading == nil {
+		return 0
+	}
+	return len(s.upgrading)
+}
+
+// branchClean unlocks explicitly on both paths.
+func branchClean(s *shard, b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+type index struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// readRead holds only read locks; nested read acquisition is legal.
+func readRead(ix *index) int {
+	ix.mu.RLock()
+	n := ix.n
+	ix.mu.RUnlock()
+	return n
+}
+
+// lockAll intentionally hands the held lock to its caller; the justified
+// suppression keeps it silent.
+func lockAll(s *shard) {
+	//lint:allow unlockpath -- hands the held shard lock to the caller, which releases via unlockAll
+	s.mu.Lock()
+}
+
+func unlockAll(s *shard) {
+	s.mu.Unlock()
+}
+
+// Lock is a wrapper method: wrappers named after lock operations may return
+// holding the underlying mutex.
+func (t *table) Lock() { t.shards[0].mu.Lock() }
+
+// Unlock releases the wrapper's mutex.
+func (t *table) Unlock() { t.shards[0].mu.Unlock() }

@@ -1,0 +1,12 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unlockpath"
+)
+
+func TestUnlockpath(t *testing.T) {
+	analysistest.Run(t, unlockpath.Analyzer, "unlockpath_a")
+}

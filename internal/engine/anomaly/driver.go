@@ -5,6 +5,12 @@
 // trees (see trees.go), asserting that forbidden outcomes are impossible
 // and that allowed outcomes stay reachable. The per-anomaly pattern-file
 // layout follows the per-anomaly test structure of go-test-pgssi.
+//
+// The package is a deterministic schedule driver: a failing interleaving
+// must fail identically on every run. tebaldivet's detguard analyzer
+// enforces this (no wall clock, no global rand, no map-order dependence).
+//
+// tebaldi:deterministic
 package anomaly
 
 import (
@@ -326,8 +332,11 @@ func Run(p *Pattern, cfg *engine.NodeSpec, schedule []string, strict bool) (*Out
 		}
 	}
 
+	// Iterate the pattern's declared txn order, not the runner map: a
+	// deadline hit must name the same stuck transaction on every run.
 	deadline := time.After(10 * time.Second)
-	for _, r := range runners {
+	for _, t := range p.Txns {
+		r := runners[t.Name]
 		close(r.queue)
 		select {
 		case <-r.done:

@@ -31,6 +31,8 @@ type Engine struct {
 	// gate serializes admission against reconfiguration: Begin admits
 	// under RLock; reconfiguration blocks admission under Lock and may
 	// additionally block individual types (online update).
+	//
+	// tebaldi:locks after engine.Engine.treeMu
 	gate struct {
 		sync.RWMutex
 		blockedTypes map[string]bool
@@ -82,6 +84,11 @@ func (e *Engine) refreshSnapSources(tree *Tree) {
 }
 
 type activeShard struct {
+	// Innermost engine lock: held only across map ops by register/
+	// unregister/snapshotActive, which run under admission (gate.RLock),
+	// reconfiguration drains (treeMu) and checkpoint cuts (ckMu).
+	//
+	// tebaldi:locks after engine.Engine.gate engine.Engine.treeMu engine.Engine.ckMu
 	mu   sync.Mutex
 	txns map[uint64]*core.Txn
 }
@@ -129,6 +136,7 @@ func New(opts Options, specs []*core.Spec, config *NodeSpec) (*Engine, error) {
 	tree, err := e.buildTree(config)
 	if err != nil {
 		if e.walMgr != nil {
+			//lint:allow syncerr -- error-path teardown of a WAL that logged nothing yet; the buildTree error is what the caller needs
 			e.walMgr.Close()
 		}
 		return nil, err

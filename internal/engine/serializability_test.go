@@ -299,6 +299,7 @@ func checkSerializable(t *testing.T, h *history) {
 					if c == nil {
 						continue
 					}
+					//lint:allow lockorder -- failure-path diagnostics dump chains under the history lock; the test is already aborting
 					c.Lock()
 					var desc []string
 					for _, v := range c.Versions() {

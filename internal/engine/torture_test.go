@@ -80,6 +80,14 @@ func TestTortureCrashPointsAcrossCheckpoints(t *testing.T) {
 	// (ck.*/compact.*) fire on the checkpointer goroutine itself, which
 	// already holds the lock — the copy there IS a single instant of the
 	// checkpoint procedure.
+	//
+	// Harness lock order: the capture hook takes the bookkeeping mutexes
+	// and the checkpointer calls Checkpoint (ckMu, and activeShard.mu
+	// transitively) while holding ckPauseMu.
+	//
+	// tebaldi:locks order engine.ckPauseMu < engine.ackMu
+	// tebaldi:locks order engine.ckPauseMu < engine.imgMu
+	// tebaldi:locks order engine.ckPauseMu < engine.Engine.ckMu
 	var ckPauseMu sync.Mutex
 	hook := func(point string) {
 		imgMu.Lock()
@@ -104,6 +112,7 @@ func TestTortureCrashPointsAcrossCheckpoints(t *testing.T) {
 			// capture (and un-counting it, so a later hit retries) is
 			// fine — a crash image is only meaningful at an instant we
 			// can reason about.
+			//lint:allow unlockpath -- released below under the same appenderSide flag, which cannot change in between
 			if !ckPauseMu.TryLock() {
 				imgMu.Lock()
 				captured[point]--

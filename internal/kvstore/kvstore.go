@@ -278,10 +278,16 @@ func (s *Store) Rewrite(transform func(key string, value []byte) ([]byte, bool))
 		return before, before, fmt.Errorf("kvstore: rewrite rename: %w", err)
 	}
 	s.hook("compact.renamed")
-	// Persist the rename itself.
+	// Persist the rename itself. Failing to open the directory is tolerated
+	// (some filesystems refuse it), but once we hold the handle a failed
+	// fsync means the rename may not survive a crash — the old, compacted-
+	// away log could resurface with its latest-wins duplicates gone.
+	var dirErr error
 	if d, derr := os.Open(filepath.Dir(s.path)); derr == nil {
-		d.Sync()
-		d.Close()
+		dirErr = d.Sync()
+		if cerr := d.Close(); dirErr == nil {
+			dirErr = cerr
+		}
 	}
 
 	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
@@ -302,6 +308,11 @@ func (s *Store) Rewrite(transform func(key string, value []byte) ([]byte, bool))
 	s.f = f
 	s.w = bufio.NewWriterSize(f, 1<<16)
 	s.index = next
+	// Report the directory-sync failure only after the in-memory swap: the
+	// store keeps working against the renamed file either way.
+	if dirErr != nil {
+		return before, after, fmt.Errorf("kvstore: rewrite dir sync: %w", dirErr)
+	}
 	return before, after, nil
 }
 

@@ -292,9 +292,18 @@ func writeManifest(dir string, ck, snapTS uint64, shards int) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: manifest: %w", err)
 	}
+	// Persist the rename: the manifest IS the checkpoint's commit point, so
+	// an unsynced directory entry can un-publish it at the next crash and
+	// replay compacted logs without their snapshot. Failing to open the
+	// directory is tolerated; a failed fsync is not.
 	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("wal: manifest dir sync: %w", err)
+		}
 	}
 	return nil
 }

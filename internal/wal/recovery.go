@@ -136,10 +136,12 @@ func Recover(dir string, shards int) (*RecoveredState, error) {
 			// prefix.
 			b := st.Get(fmt.Sprintf("ck/%d", i))
 			if len(b) != 16 {
+				//lint:allow syncerr -- read-only store being abandoned; the missing-marker error below is the diagnosis
 				st.Close()
 				return nil, fmt.Errorf("wal: shard %d has no checkpoint frontier marker but manifest %d is published", i, man.ID)
 			}
 			if id := binary.LittleEndian.Uint64(b[0:8]); id < man.ID {
+				//lint:allow syncerr -- read-only store being abandoned; the frontier-mismatch error below is the diagnosis
 				st.Close()
 				return nil, fmt.Errorf("wal: shard %d frontier marker %d behind manifest %d", i, id, man.ID)
 			}

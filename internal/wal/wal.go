@@ -114,7 +114,10 @@ type Manager struct {
 	// before the durable frontier covers it. Close also holds the write
 	// side while marking the pipeline closed and closing the appender
 	// queues; after close, submissions fall back to direct synchronous
-	// appends.
+	// appends. Checkpoint stages frontier markers through the pipeline
+	// while holding ckMu, so the read side nests inside it.
+	//
+	// tebaldi:locks after wal.Manager.ckMu
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -146,6 +149,7 @@ func Open(opts Options) (*Manager, error) {
 		st, err := kvstore.Open(filepath.Join(opts.Dir, fmt.Sprintf("ds-%03d.log", i)))
 		if err != nil {
 			for _, s := range m.stores {
+				//lint:allow syncerr -- best-effort teardown of untouched stores while Open fails loudly with the shard error
 				s.Close()
 			}
 			return nil, err
@@ -161,6 +165,7 @@ func Open(opts Options) (*Manager, error) {
 		// ckSeq 0 would republish low checkpoint ids over newer snapshot
 		// files. Fail loudly, like Recover does.
 		for _, s := range m.stores {
+			//lint:allow syncerr -- best-effort teardown; the malformed-manifest error is the one the caller must see
 			s.Close()
 		}
 		return nil, err
@@ -363,9 +368,11 @@ func (m *Manager) flusher() {
 	for {
 		select {
 		case <-m.stop:
+			//lint:allow syncerr -- seal failures reach the appenders' Observer (stats.walErrors); the final flush must not block Close
 			m.flushEpoch()
 			return
 		case <-t.C:
+			//lint:allow syncerr -- seal failures reach the appenders' Observer (stats.walErrors); the ticker must keep advancing epochs
 			m.flushEpoch()
 		}
 	}
