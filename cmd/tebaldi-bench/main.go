@@ -37,18 +37,20 @@ var experiments = map[string]func(bench.Params) error{
 	"table5.2": bench.Table52,
 	"ycsb":     bench.YCSB,
 	"recovery": bench.Recovery,
+	"serve":    bench.Serve,
 }
 
 var order = []string{
 	"table3.1", "fig4.7", "fig4.8", "sec4.6.3", "fig4.10", "fig4.11",
 	"table4.1", "table4.2", "fig5.5", "fig5.11", "fig5.14", "fig5.17",
-	"table5.1", "fig5.19", "table5.2", "ycsb", "recovery",
+	"table5.1", "fig5.19", "table5.2", "ycsb", "recovery", "serve",
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "small client counts and short windows")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.String("json", "", "write machine-readable results to FILE (experiments that support it)")
+	target := flag.String("target", "", "drive an already running tebaldi-server at this address (serve experiment)")
 	flag.Parse()
 
 	if *list {
@@ -67,7 +69,7 @@ func main() {
 	if len(ids) == 0 {
 		ids = order
 	}
-	p := bench.Params{Out: os.Stdout, Quick: *quick}
+	p := bench.Params{Out: os.Stdout, Quick: *quick, Target: *target}
 	if *jsonOut != "" {
 		p.Collect = &bench.Snapshot{Quick: *quick}
 	}

@@ -21,8 +21,11 @@ type Params struct {
 	Out   io.Writer
 	Quick bool // smaller client counts and windows (CI-friendly)
 	// Collect, when non-nil, accumulates machine-readable results for the
-	// experiments that support it (ycsb, recovery).
+	// experiments that support it (ycsb, recovery, serve).
 	Collect *Snapshot
+	// Target, when non-empty, points the serve experiment at an already
+	// running tebaldi-server instead of starting one itself.
+	Target string
 }
 
 func (p Params) out() io.Writer {

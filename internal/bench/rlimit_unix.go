@@ -1,0 +1,20 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE to the hard limit so the 10k+
+// connection serve experiment does not die on EMFILE. Best-effort: on
+// failure the run proceeds with whatever the limit is.
+func raiseFDLimit() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		//lint:allow syncerr -- best-effort limit bump; the dial loop reports EMFILE if it still bites
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+}

@@ -23,6 +23,17 @@ type SnapshotEntry struct {
 	RestartUS    int64 `json:"restart_us,omitempty"`
 	Replayed     int   `json:"replayed_records,omitempty"`
 	SnapshotKeys int   `json:"snapshot_keys,omitempty"`
+	// Networked open-loop rows (serve experiment). Mode is "open"
+	// (latency from intended send time — coordinated-omission-honest) or
+	// "closed" (latency from actual send time). Quantiles in microseconds.
+	Mode        string  `json:"mode,omitempty"`
+	Connections int     `json:"connections,omitempty"`
+	OfferedRate float64 `json:"offered_rate_txn_s,omitempty"`
+	Failed      uint64  `json:"failed,omitempty"`
+	P50US       int64   `json:"p50_us,omitempty"`
+	P99US       int64   `json:"p99_us,omitempty"`
+	P999US      int64   `json:"p999_us,omitempty"`
+	MaxUS       int64   `json:"max_us,omitempty"`
 }
 
 // Snapshot accumulates SnapshotEntry values across experiments so a bench

@@ -328,6 +328,11 @@ func (e *Engine) activeCount(filter func(*core.Txn) bool) int {
 	return n
 }
 
+// ActiveTxns counts transactions currently registered (begun, neither
+// committed nor aborted). The networked front end exports it as a gauge and
+// session-lifecycle tests assert it drops to zero after client disconnects.
+func (e *Engine) ActiveTxns() int { return e.activeCount(nil) }
+
 // Watermark is the lower bound of any snapshot a current or future
 // transaction may read at: the minimum of active transactions' begin
 // timestamps and the CC tree's open batch snapshots (an SSI/TSO batch

@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style latency histogram: logarithmic major buckets (one
+// per power of two) split into linear sub-buckets, giving a bounded
+// relative error of 1/subBuckets (~1.6%) over the full tracked range with
+// a fixed, allocation-free footprint. Recording is a single atomic add, so
+// it is safe from any number of connection workers.
+type Hist struct {
+	counts [nBuckets]atomic.Uint64
+	total  atomic.Uint64
+	maxNs  atomic.Uint64
+}
+
+const (
+	subBits    = 6 // 64 linear sub-buckets per power of two
+	subBuckets = 1 << subBits
+	majors     = 38 // 2^37 ns ≈ 137s tracked range
+	nBuckets   = majors * subBuckets
+	maxNsValue = uint64(1)<<(majors-1) - 1
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		// Values below one sub-bucket resolution land in the linear
+		// bottom range.
+		return int(v)
+	}
+	// The major bucket is the position of the highest set bit; the
+	// sub-bucket takes the next subBits bits below it.
+	major := bits.Len64(v) - 1
+	sub := (v >> (uint(major) - subBits)) & (subBuckets - 1)
+	return (major-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketValue returns a representative (midpoint) value for a bucket.
+func bucketValue(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	major := idx/subBuckets + subBits - 1
+	sub := uint64(idx % subBuckets)
+	lo := (uint64(1) << uint(major)) | (sub << (uint(major) - subBits))
+	return lo + (uint64(1)<<(uint(major)-subBits))/2
+}
+
+// Record adds one latency observation. Negative durations clamp to zero
+// (an arrival can complete "before" its intended time only by clock skew).
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d.Nanoseconds())
+	}
+	if v > maxNsValue {
+		v = maxNsValue
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if v <= cur || h.maxNs.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// Max returns the largest recorded latency (bucket-exact).
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns the latency at quantile q in [0,1], e.g. 0.999 for
+// p999. Zero observations yield zero.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < nBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(h.maxNs.Load())
+}

@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileAccuracy records a known uniform distribution and checks
+// every reported quantile against the exact answer within the histogram's
+// designed relative error (1/64 per power of two, midpoint-corrected; 3% is
+// comfortable headroom).
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := &Hist{}
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		exact := time.Duration(q*n) * time.Microsecond
+		got := h.Quantile(q)
+		lo := time.Duration(float64(exact) * 0.97)
+		hi := time.Duration(float64(exact) * 1.03)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want %v ± 3%%", q, got, exact)
+		}
+	}
+	if got, want := h.Max(), time.Duration(n)*time.Microsecond; got != want {
+		t.Errorf("Max = %v, want exact %v", got, want)
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not zero")
+	}
+	// Negative durations clamp to zero instead of corrupting a bucket.
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("negative record: count %d q50 %v max %v, want 1/0/0",
+			h.Count(), h.Quantile(0.5), h.Max())
+	}
+	// Values beyond the tracked range clamp to the ceiling, not overflow.
+	h.Record(10 * time.Hour)
+	if got := h.Max(); got > 138*time.Second || got < 130*time.Second {
+		t.Errorf("over-range record: Max = %v, want clamped to ~137s", got)
+	}
+	// Out-of-range q values clamp.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Error("clamped quantiles out of order")
+	}
+}
+
+// TestHistBucketRoundTrip: bucketValue(bucketIndex(v)) stays within one
+// sub-bucket of v across the whole range.
+func TestHistBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200000; trial++ {
+		v := uint64(rng.Int63()) % maxNsValue
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= nBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		back := bucketValue(idx)
+		var width uint64 = 1
+		if v >= subBuckets {
+			width = v >> subBits // one sub-bucket at v's scale
+		}
+		diff := back - v
+		if back < v {
+			diff = v - back
+		}
+		if diff > width {
+			t.Fatalf("bucketValue(bucketIndex(%d)) = %d, off by %d > sub-bucket width %d",
+				v, back, diff, width)
+		}
+	}
+}
+
+// TestHistConcurrentRecord hammers Record from many goroutines; run under
+// -race this pins the lock-free recording path.
+func TestHistConcurrentRecord(t *testing.T) {
+	h := &Hist{}
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if h.Max() >= time.Millisecond {
+		t.Errorf("Max = %v beyond any recorded value", h.Max())
+	}
+}

@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// drivePacer runs AdvanceToNextSleeper until done closes, yielding real time
+// between attempts so pacer/worker goroutines can run.
+func drivePacer(clock *FakeClock, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if !clock.AdvanceToNextSleeper() {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// TestPaceEmitsOnSchedule pins the open-loop scheduler's contract: under a
+// fake clock, arrival i is emitted exactly at start + i/rate, and the clock
+// reads exactly that instant when emit runs.
+func TestPaceEmitsOnSchedule(t *testing.T) {
+	clock := NewFakeClock(t0)
+	const rate, count = 200.0, 50 // 5ms interval
+	type emission struct {
+		i        int
+		intended time.Time
+		now      time.Time
+	}
+	var got []emission
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pace(clock, t0, rate, count, func(i int, intended time.Time) {
+			got = append(got, emission{i, intended, clock.Now()})
+		})
+	}()
+	drivePacer(clock, done)
+	<-done
+
+	if len(got) != count {
+		t.Fatalf("emitted %d arrivals, want %d", len(got), count)
+	}
+	interval := 5 * time.Millisecond
+	for _, e := range got {
+		want := t0.Add(time.Duration(e.i) * interval)
+		if !e.intended.Equal(want) {
+			t.Errorf("arrival %d intended %v, want %v", e.i, e.intended, want)
+		}
+		if !e.now.Equal(want) {
+			t.Errorf("arrival %d emitted at %v, want exactly %v", e.i, e.now, want)
+		}
+	}
+}
+
+// TestOpenLoopRateUnderFakeClock runs the whole Run() machinery under a fake
+// clock and checks the offered schedule: the run spans exactly
+// (count-1)*interval of fake time and achieves the configured rate.
+func TestOpenLoopRateUnderFakeClock(t *testing.T) {
+	clock := NewFakeClock(t0)
+	const rate, count = 1000.0, 200
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, runErr = Run(Options{Workers: 4, Rate: rate, Count: count, Clock: clock},
+			func(worker int) (Exec, error) { return func(i int) error { return nil }, nil })
+	}()
+	drivePacer(clock, done)
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if rep.Arrivals != count || rep.Committed != count || rep.Failed != 0 {
+		t.Fatalf("arrivals %d committed %d failed %d, want %d/%d/0",
+			rep.Arrivals, rep.Committed, rep.Failed, count, count)
+	}
+	// Last arrival is scheduled at (count-1)*1ms and executes instantly, so
+	// the fake-time span is exactly that.
+	if want := time.Duration(count-1) * time.Millisecond; rep.Elapsed != want {
+		t.Errorf("Elapsed = %v, want %v", rep.Elapsed, want)
+	}
+	// 200 txns / 199ms ≈ 1005 txn/s: within 5% of the configured rate.
+	if rep.Rate < rate*0.95 || rep.Rate > rate*1.05 {
+		t.Errorf("achieved rate %.1f not within 5%% of configured %.0f", rep.Rate, rate)
+	}
+	if s := rep.String(); !strings.Contains(s, "p999") {
+		t.Errorf("Report.String() = %q missing quantiles", s)
+	}
+}
+
+// TestStalledWorkerShowsCoordinatedOmission is the point of the open loop: a
+// stalled connection must surface as tail latency measured from INTENDED
+// send time, not vanish from the histogram. Worker 0 blocks until every
+// arrival has been scheduled; its backlog then drains with latencies that
+// stretch back across the stall, pushing p999 near the full stall duration
+// while p50 (the healthy worker) stays low.
+func TestStalledWorkerShowsCoordinatedOmission(t *testing.T) {
+	clock := NewFakeClock(t0)
+	const rate, count = 1000.0, 1000 // 1ms interval, ~999ms of fake time
+	block := make(chan struct{})
+	var healthy atomic.Uint64
+
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, runErr = Run(Options{Workers: 2, Rate: rate, Count: count, Clock: clock},
+			func(worker int) (Exec, error) {
+				if worker == 0 {
+					return func(i int) error { <-block; return nil }, nil
+				}
+				return func(i int) error { healthy.Add(1); return nil }, nil
+			})
+	}()
+
+	// Drive the pacer through the full schedule, then release the stalled
+	// worker so its backlog drains at t = (count-1)*interval.
+	end := t0.Add(time.Duration(count-1) * time.Millisecond)
+	for clock.Now().Before(end) {
+		if !clock.AdvanceToNextSleeper() {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	close(block)
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	if rep.Committed != count {
+		t.Fatalf("committed %d, want %d", rep.Committed, count)
+	}
+	if healthy.Load() != count/2 {
+		t.Fatalf("healthy worker ran %d txns, want %d", healthy.Load(), count/2)
+	}
+	// The earliest stalled arrival waited ~999ms; coordinated omission makes
+	// that visible at the tail.
+	if rep.P999 < 400*time.Millisecond {
+		t.Errorf("p999 = %v; a ~1s stall must dominate the tail (want > 400ms)", rep.P999)
+	}
+	if rep.Max < 900*time.Millisecond {
+		t.Errorf("max = %v; earliest stalled arrival waited ~999ms", rep.Max)
+	}
+	// The healthy half keeps the median low.
+	if rep.P50 > 50*time.Millisecond {
+		t.Errorf("p50 = %v; healthy worker latencies should keep the median low", rep.P50)
+	}
+}
+
+// TestClosedLoopAccounting checks the closed-loop path splits Count across
+// workers and tallies failures.
+func TestClosedLoopAccounting(t *testing.T) {
+	var calls atomic.Uint64
+	rep, err := Run(Options{Workers: 3, Count: 10, ClosedLoop: true},
+		func(worker int) (Exec, error) {
+			return func(i int) error {
+				calls.Add(1)
+				if i%5 == 0 {
+					return errors.New("boom")
+				}
+				return nil
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 || rep.Arrivals != 10 {
+		t.Fatalf("calls %d arrivals %d, want 10/10", calls.Load(), rep.Arrivals)
+	}
+	if rep.Committed != 8 || rep.Failed != 2 { // i = 0 and 5 fail
+		t.Errorf("committed %d failed %d, want 8/2", rep.Committed, rep.Failed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	exec := func(worker int) (Exec, error) { return func(int) error { return nil }, nil }
+	if _, err := Run(Options{Workers: 0, Count: 1, Rate: 1}, exec); err == nil {
+		t.Error("Workers=0 accepted")
+	}
+	if _, err := Run(Options{Workers: 1, Count: 0, Rate: 1}, exec); err == nil {
+		t.Error("Count=0 accepted")
+	}
+	if _, err := Run(Options{Workers: 1, Count: 1}, exec); err == nil {
+		t.Error("open loop with Rate=0 accepted")
+	}
+	wantErr := errors.New("no dice")
+	_, err := Run(Options{Workers: 4, Count: 4, Rate: 1, Clock: NewFakeClock(t0)},
+		func(worker int) (Exec, error) {
+			if worker == 2 {
+				return nil, wantErr
+			}
+			return func(int) error { return nil }, nil
+		})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("setup error not propagated: %v", err)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	clock := NewFakeClock(t0)
+	if !clock.Now().Equal(t0) {
+		t.Fatal("clock does not start at start")
+	}
+	// SleepUntil a past instant returns immediately.
+	clock.SleepUntil(t0.Add(-time.Second))
+
+	woke := make(chan struct{})
+	go func() {
+		clock.SleepUntil(t0.Add(10 * time.Millisecond))
+		close(woke)
+	}()
+	for clock.Sleepers() == 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	clock.Advance(5 * time.Millisecond)
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before its deadline")
+	case <-time.After(time.Millisecond):
+	}
+	clock.Advance(5 * time.Millisecond)
+	<-woke
+	if clock.AdvanceToNextSleeper() {
+		t.Error("AdvanceToNextSleeper with no sleepers returned true")
+	}
+}

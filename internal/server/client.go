@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client is a multiplexing protocol client: one TCP connection carrying any
+// number of concurrent sessions. Each session is synchronous (one request
+// outstanding at a time, from one goroutine); different sessions may be
+// driven from different goroutines concurrently.
+type Client struct {
+	nc net.Conn
+
+	// wmu serializes frame writes. Declared inner to the session-table
+	// lock so a future register-and-write path has one legal order.
+	// tebaldi:locks after server.Client.mu
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// mu guards pending (sid -> response slot) and the terminal error.
+	// Never held while blocking on the network; ordered before wmu.
+	mu      sync.Mutex
+	pending map[uint32]chan *Message
+	err     error
+	nextSID uint32
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a tebaldi-server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return wrap(nc, err)
+}
+
+// NewClient wraps an established connection (tests use net.Pipe or an
+// in-process listener).
+func NewClient(nc net.Conn) *Client {
+	c, _ := wrap(nc, nil)
+	return c
+}
+
+func wrap(nc net.Conn, err error) (*Client, error) {
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		nc:         nc,
+		bw:         bufio.NewWriter(nc),
+		pending:    make(map[uint32]chan *Message),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; blocked calls fail with the close error.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReader(c.nc)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("server: connection lost: %w", err)
+			for sid, ch := range c.pending {
+				close(ch)
+				delete(c.pending, sid)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.SID]
+		delete(c.pending, m.SID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+		// A response for a session with no waiter (e.g. a protocol error
+		// the server attributed to sid 0) is dropped; the affected call
+		// fails via the connection error path when the server hangs up.
+	}
+}
+
+// Session opens a new session (one transaction at a time) on the
+// connection. Sessions are cheap: a client id and a response slot.
+func (c *Client) Session() *Sess {
+	c.mu.Lock()
+	c.nextSID++
+	sid := c.nextSID
+	c.mu.Unlock()
+	return &Sess{c: c, id: sid, resp: make(chan *Message, 1)}
+}
+
+// Sess is one session. Methods must be called from a single goroutine.
+type Sess struct {
+	c    *Client
+	id   uint32
+	resp chan *Message
+}
+
+// roundTrip sends req and waits for this session's response.
+func (s *Sess) roundTrip(req *Message) (*Message, error) {
+	c := s.c
+	req.SID = s.id
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[s.id] = s.resp
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	buf := appendFrame(nil, req)
+	_, err := c.bw.Write(buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, s.id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	m, ok := <-s.resp
+	if !ok {
+		// Reader closed the slot: surface the terminal connection error.
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		s.resp = make(chan *Message, 1) // slot is spent; arm a fresh one
+		return nil, err
+	}
+	if m.Type == MsgErr {
+		return nil, &WireError{Code: m.Code, Msg: m.ErrMsg}
+	}
+	return m, nil
+}
+
+// Begin opens a transaction of the given registered type on this session.
+func (s *Sess) Begin(typ string, part uint64) error {
+	_, err := s.roundTrip(&Message{Type: MsgBegin, TxnType: typ, Part: part})
+	return err
+}
+
+// Get reads a key; found is false when the key is absent at the snapshot.
+func (s *Sess) Get(table, row string) (value []byte, found bool, err error) {
+	m, err := s.roundTrip(&Message{Type: MsgGet, Key: core.K(table, row)})
+	if err != nil {
+		return nil, false, err
+	}
+	return m.Value, m.Present, nil
+}
+
+// Put writes a key.
+func (s *Sess) Put(table, row string, value []byte) error {
+	_, err := s.roundTrip(&Message{Type: MsgPut, Key: core.K(table, row), Value: value})
+	return err
+}
+
+// Commit commits the session's transaction. On error the transaction is
+// gone either way; retryable errors satisfy core.IsRetryable via WireError.
+func (s *Sess) Commit() error {
+	_, err := s.roundTrip(&Message{Type: MsgCommit})
+	return err
+}
+
+// Abort rolls the session's transaction back.
+func (s *Sess) Abort() error {
+	_, err := s.roundTrip(&Message{Type: MsgAbort})
+	return err
+}

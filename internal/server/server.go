@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/tebaldi"
+)
+
+// Options tune a Server. The zero value is usable.
+type Options struct {
+	// MaxSessionsPerConn bounds the session table of one connection
+	// (default 1024). A BEGIN beyond the cap is rejected with
+	// CodeBadRequest.
+	MaxSessionsPerConn int
+	// SessionQueue is the per-session request buffer (default 16). The
+	// connection reader blocks once a single session has this many
+	// requests outstanding, bounding memory without stalling other
+	// connections.
+	SessionQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessionsPerConn <= 0 {
+		o.MaxSessionsPerConn = 1024
+	}
+	if o.SessionQueue <= 0 {
+		o.SessionQueue = 16
+	}
+	return o
+}
+
+// Server serves the Tebaldi wire protocol over a listener. One Server
+// multiplexes any number of connections, each multiplexing any number of
+// sessions; a session holds at most one open transaction and processes its
+// requests in order on a dedicated goroutine, so a lock wait in one session
+// never stalls another.
+type Server struct {
+	db      *tebaldi.DB
+	opts    Options
+	metrics Metrics
+
+	// mu guards conns, draining, and listener installation. Leaf lock: no
+	// other server lock is acquired under it.
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	// txnsOpen and reqsInFlight drive drain: shutdown completes once both
+	// reach zero (every accepted transaction resolved, every response
+	// written).
+	txnsOpen     atomic.Int64
+	reqsInFlight atomic.Int64
+
+	acceptDone chan struct{}
+}
+
+// New builds a Server over an open database. The caller owns db; Shutdown
+// does not close it.
+func New(db *tebaldi.DB, opts Options) *Server {
+	return &Server{
+		db:         db,
+		opts:       opts.withDefaults(),
+		conns:      make(map[*conn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+}
+
+// DB returns the database the server fronts.
+func (s *Server) DB() *tebaldi.DB { return s.db }
+
+// Serve accepts connections on ln until Shutdown closes it. It blocks; run
+// it on its own goroutine. The listener is owned by the server from this
+// point on.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer close(s.acceptDone)
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			s:        s,
+			nc:       nc,
+			bw:       bufio.NewWriter(nc),
+			sessions: make(map[uint32]*session),
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.ConnsAccepted.Add(1)
+		s.metrics.ConnsActive.Add(1)
+		go c.readLoop()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: stop accepting, reject new BEGINs with
+// CodeShutdown, wait until every in-flight request has its response written
+// and every open transaction commits or aborts — then close the remaining
+// connections. Sessions idle at the deadline with a transaction still open
+// are force-disconnected (their transactions roll back through the normal
+// disconnect path). Returns nil on a clean drain, an error on timeout.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+		<-s.acceptDone
+	}
+
+	deadline := time.Now().Add(timeout)
+	drained := false
+	for time.Now().Before(deadline) {
+		if s.txnsOpen.Load() == 0 && s.reqsInFlight.Load() == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Close every connection; readers exit, session workers roll back
+	// whatever is still open and drain.
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	for _, c := range conns {
+		c.wg.Wait()
+	}
+	if !drained {
+		return fmt.Errorf("server: drain timed out with %d open txns, %d in-flight requests",
+			s.txnsOpen.Load(), s.reqsInFlight.Load())
+	}
+	return nil
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.metrics.ConnsActive.Add(-1)
+}
+
+// conn is one accepted connection: a reader goroutine that decodes frames
+// and routes them to per-session workers, plus a write path serialized by
+// wmu (workers write their responses directly).
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	// wmu serializes frame writes from the session workers and the
+	// reader's protocol-error responses. Held only around
+	// appendFrame/Write/Flush; declared inner to the connection registry
+	// lock so a future broadcast-under-registry path stays deadlock-free.
+	// tebaldi:locks after server.Server.mu
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// sessions is touched only by the reader goroutine (creation,
+	// lookup, teardown), so it needs no lock.
+	sessions map[uint32]*session
+
+	// wg counts session workers; conn teardown and server drain wait on
+	// it. The reader is not counted — it is the goroutine that closes the
+	// worker queues, so it strictly outlives every enqueue.
+	wg sync.WaitGroup
+}
+
+// session is one multiplexed stream on a connection. Its worker goroutine
+// owns tx exclusively, satisfying the engine's one-goroutine-per-Tx rule.
+type session struct {
+	cn *conn
+	id uint32
+	q  chan *Message
+	tx *tebaldi.Tx
+}
+
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, ErrFrame) {
+				// Malformed frame: the length prefix may itself be
+				// garbage, so the stream cannot be resynchronized —
+				// report and hang up.
+				c.s.metrics.ProtocolErrors.Add(1)
+				c.writeMsg(&Message{Type: MsgErr, Code: CodeBadRequest, ErrMsg: err.Error()})
+			}
+			break
+		}
+		c.s.metrics.FramesRead.Add(1)
+		if !c.dispatch(m) {
+			break
+		}
+	}
+	c.nc.Close()
+	// Stop every session worker: closing q makes the worker roll back any
+	// open transaction and exit. Only the reader sends on q, so closing
+	// here is race-free.
+	for _, ss := range c.sessions {
+		close(ss.q)
+	}
+	c.wg.Wait()
+	c.s.removeConn(c)
+}
+
+// dispatch routes one decoded request; false tears the connection down.
+func (c *conn) dispatch(m *Message) bool {
+	switch m.Type {
+	case MsgBegin, MsgGet, MsgPut, MsgCommit, MsgAbort:
+	default:
+		// A response type from a client is a protocol violation.
+		c.s.metrics.ProtocolErrors.Add(1)
+		c.writeMsg(&Message{Type: MsgErr, SID: m.SID, Code: CodeBadRequest,
+			ErrMsg: fmt.Sprintf("unexpected message type 0x%02x from client", m.Type)})
+		return true
+	}
+	ss := c.sessions[m.SID]
+	if ss == nil {
+		if m.Type != MsgBegin {
+			c.s.metrics.ProtocolErrors.Add(1)
+			c.writeMsg(&Message{Type: MsgErr, SID: m.SID, Code: CodeNoTxn,
+				ErrMsg: "no transaction: session not started with BEGIN"})
+			return true
+		}
+		if len(c.sessions) >= c.s.opts.MaxSessionsPerConn {
+			c.s.metrics.ProtocolErrors.Add(1)
+			c.writeMsg(&Message{Type: MsgErr, SID: m.SID, Code: CodeBadRequest,
+				ErrMsg: "session limit reached on this connection"})
+			return true
+		}
+		ss = &session{cn: c, id: m.SID, q: make(chan *Message, c.s.opts.SessionQueue)}
+		c.sessions[m.SID] = ss
+		c.s.metrics.SessionsActive.Add(1)
+		c.wg.Add(1)
+		go ss.run()
+	}
+	// PUT values alias the read buffer only until the next frame is
+	// decoded in this goroutine; each frame gets a fresh payload slice, so
+	// handing m to the worker is safe without copying.
+	c.s.reqsInFlight.Add(1)
+	ss.q <- m
+	return true
+}
+
+func (ss *session) run() {
+	c := ss.cn
+	defer c.wg.Done()
+	for m := range ss.q {
+		resp := ss.handle(m)
+		resp.SID = ss.id
+		c.writeMsg(resp)
+		c.s.reqsInFlight.Add(-1)
+	}
+	if ss.tx != nil {
+		// Client vanished mid-transaction: release locks and CC state.
+		ss.tx.Rollback(nil)
+		ss.tx = nil
+		c.s.txnsOpen.Add(-1)
+		c.s.metrics.DisconnectAborts.Add(1)
+	}
+	c.s.metrics.SessionsActive.Add(-1)
+}
+
+// handle executes one request against the engine and builds the response.
+func (ss *session) handle(m *Message) *Message {
+	s := ss.cn.s
+	switch m.Type {
+	case MsgBegin:
+		if ss.tx != nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeTxnOpen, "BEGIN with a transaction already open on this session")
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return errMsg(CodeShutdown, "server is draining")
+		}
+		if s.db.Engine().Spec(m.TxnType) == nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeUnknownType, fmt.Sprintf("unknown transaction type %q", m.TxnType))
+		}
+		tx, err := s.db.Begin(m.TxnType, m.Part)
+		if err != nil {
+			s.metrics.TxnAborts.Add(1)
+			return errMsg(ErrorCode(err), err.Error())
+		}
+		ss.tx = tx
+		s.txnsOpen.Add(1)
+		s.metrics.TxnBegins.Add(1)
+		return &Message{Type: MsgOK}
+
+	case MsgGet:
+		if ss.tx == nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeNoTxn, "GET without BEGIN")
+		}
+		v, err := ss.tx.Read(m.Key)
+		if err != nil {
+			return ss.txnError(err)
+		}
+		s.metrics.Reads.Add(1)
+		return &Message{Type: MsgValue, Present: v != nil, Value: v}
+
+	case MsgPut:
+		if ss.tx == nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeNoTxn, "PUT without BEGIN")
+		}
+		// The decoded value aliases the frame buffer; the engine retains
+		// it in the version chain, so copy.
+		val := make([]byte, len(m.Value))
+		copy(val, m.Value)
+		if err := ss.tx.Write(m.Key, val); err != nil {
+			return ss.txnError(err)
+		}
+		s.metrics.Writes.Add(1)
+		return &Message{Type: MsgOK}
+
+	case MsgCommit:
+		if ss.tx == nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeNoTxn, "COMMIT without BEGIN")
+		}
+		err := ss.tx.Commit()
+		ss.tx = nil
+		s.txnsOpen.Add(-1)
+		if err != nil {
+			s.metrics.TxnAborts.Add(1)
+			return errMsg(ErrorCode(err), err.Error())
+		}
+		s.metrics.TxnCommits.Add(1)
+		return &Message{Type: MsgOK}
+
+	case MsgAbort:
+		if ss.tx == nil {
+			s.metrics.ProtocolErrors.Add(1)
+			return errMsg(CodeNoTxn, "ABORT without BEGIN")
+		}
+		ss.tx.Rollback(nil)
+		ss.tx = nil
+		s.txnsOpen.Add(-1)
+		s.metrics.TxnAborts.Add(1)
+		return &Message{Type: MsgOK}
+	}
+	s.metrics.ProtocolErrors.Add(1)
+	return errMsg(CodeBadRequest, fmt.Sprintf("unhandled message type 0x%02x", m.Type))
+}
+
+// txnError finishes the session's transaction state after an engine abort
+// (the engine already rolled the transaction back) and maps the error.
+func (ss *session) txnError(err error) *Message {
+	ss.tx = nil
+	ss.cn.s.txnsOpen.Add(-1)
+	ss.cn.s.metrics.TxnAborts.Add(1)
+	return errMsg(ErrorCode(err), err.Error())
+}
+
+func errMsg(code byte, msg string) *Message {
+	return &Message{Type: MsgErr, Code: code, ErrMsg: msg}
+}
+
+// writeMsg encodes and writes one frame. Write errors only mark the
+// connection: the reader will notice the broken pipe on its next read and
+// tear the connection down through the single teardown path.
+func (c *conn) writeMsg(m *Message) {
+	c.wmu.Lock()
+	buf := appendFrame(nil, m)
+	_, err := c.bw.Write(buf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.nc.Close()
+		return
+	}
+	c.s.metrics.FramesWritten.Add(1)
+}
