@@ -14,6 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/bench"
@@ -51,7 +54,38 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.String("json", "", "write machine-readable results to FILE (experiments that support it)")
 	target := flag.String("target", "", "drive an already running tebaldi-server at this address (serve experiment)")
+	profDir := flag.String("pprof", "", "write cpu.pprof/heap.pprof covering the whole run to DIR (see DESIGN.md, profiling workflow)")
 	flag.Parse()
+
+	if *profDir != "" {
+		if err := os.MkdirAll(*profDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		cpuF, err := os.Create(filepath.Join(*profDir, "cpu.pprof"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			heapF, err := os.Create(filepath.Join(*profDir, "heap.pprof"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation stats in the heap profile
+			if err := pprof.WriteHeapProfile(heapF); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+			heapF.Close()
+		}()
+	}
 
 	if *list {
 		ids := make([]string, 0, len(experiments))

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -100,8 +101,17 @@ func run(addr, metricsAddr string, preload, shards int, lockTimeout time.Duratio
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		// Live profiling endpoints on the (loopback-by-default) metrics
+		// listener: `go tool pprof http://.../debug/pprof/profile` against
+		// a serving instance is the workflow that drove the hot-path
+		// optimization pass (DESIGN.md, profiling workflow).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		metricsSrv = &http.Server{Handler: mux}
-		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
 		go func() {
 			//lint:allow syncerr -- http.Serve returns ErrServerClosed on the shutdown path; nothing durable rides on it
 			metricsSrv.Serve(mln)

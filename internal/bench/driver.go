@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +38,14 @@ type Result struct {
 	Throughput  float64 // committed txn/sec
 	AbortRate   float64
 	MeanLatency map[string]time.Duration // per transaction type
+	// AllocsPerTxn / BytesPerTxn are whole-process heap allocation deltas
+	// (runtime.MemStats Mallocs/TotalAlloc) over the measurement window
+	// divided by committed transactions. They include client-side
+	// generation work, so they are an upper bound on the engine's own
+	// per-transaction cost — which is exactly what a perf ledger wants to
+	// watch for regressions.
+	AllocsPerTxn float64
+	BytesPerTxn  float64
 	// WAL group-commit pipeline counters over the window (zero when
 	// durability is off).
 	WalBatches   uint64
@@ -111,9 +120,13 @@ func Clients(db *tebaldi.DB, gen Gen, n int) (stopAndJoin func()) {
 func Drive(db *tebaldi.DB, gen Gen, clients int, warmup, measure time.Duration) Result {
 	stopAndJoin := Clients(db, gen, clients)
 	time.Sleep(warmup)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	snap := db.Stats().Snapshot()
 	time.Sleep(measure)
 	w := db.Stats().Since(snap)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	stopAndJoin()
 
 	res := Result{
@@ -127,6 +140,10 @@ func Drive(db *tebaldi.DB, gen Gen, clients int, warmup, measure time.Duration) 
 		WalBatches:   w.WalBatches,
 		WalMeanBatch: w.WalMeanBatch,
 		WalMeanFlush: w.WalMeanFlush,
+	}
+	if w.Commits > 0 {
+		res.AllocsPerTxn = float64(m1.Mallocs-m0.Mallocs) / float64(w.Commits)
+		res.BytesPerTxn = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(w.Commits)
 	}
 	for typ, wt := range w.PerType {
 		res.MeanLatency[typ] = wt.MeanLatency

@@ -788,7 +788,8 @@ func YCSB(p Params) error {
 		c.Load(db)
 		res := Drive(db, ycsbGen(c), clients, warmup, measure)
 		db.Close()
-		rows = append(rows, [2]string{m.name, res.String()})
+		rows = append(rows, [2]string{m.name,
+			fmt.Sprintf("%s  %6.1f allocs/txn", res.String(), res.AllocsPerTxn)})
 		p.record("ycsb", m.name, res)
 	}
 	table(w, "measured (in-memory):", rows)

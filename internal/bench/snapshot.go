@@ -15,6 +15,10 @@ type SnapshotEntry struct {
 	Clients    int     `json:"clients,omitempty"`
 	Throughput float64 `json:"throughput_txn_s,omitempty"`
 	AbortRate  float64 `json:"abort_rate,omitempty"`
+	// Whole-process allocation cost per committed transaction over the
+	// measurement window (see Result.AllocsPerTxn).
+	AllocsPerTxn float64 `json:"allocs_per_txn,omitempty"`
+	BytesPerTxn  float64 `json:"bytes_per_txn,omitempty"`
 	// Durability pipeline counters (YCSB group-commit rows).
 	WalMeanBatch  float64 `json:"wal_mean_batch,omitempty"`
 	WalMeanFlushU int64   `json:"wal_mean_flush_us,omitempty"`
@@ -72,6 +76,8 @@ func (p Params) record(experiment, label string, r Result) {
 		Clients:       r.Clients,
 		Throughput:    r.Throughput,
 		AbortRate:     r.AbortRate,
+		AllocsPerTxn:  r.AllocsPerTxn,
+		BytesPerTxn:   r.BytesPerTxn,
 		WalMeanBatch:  r.WalMeanBatch,
 		WalMeanFlushU: r.WalMeanFlush.Microseconds(),
 	})

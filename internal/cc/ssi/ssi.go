@@ -87,7 +87,7 @@ type slot struct {
 	// "latest committed" (optimized-mode update transactions).
 	snapTS uint64
 	batch  *batch // nil in optimized mode and for leaf transactions
-	own    *marks // per-transaction marks when batch == nil
+	own    marks  // per-transaction marks when batch == nil (value: one allocation per Begin, not two)
 	// readChains are the chains this transaction read (batched mode):
 	// Validate rescans them so anti-dependencies to writers that
 	// committed after the read are not missed.
@@ -98,7 +98,7 @@ func (s *slot) flags() *marks {
 	if s.batch != nil {
 		return &s.batch.marks
 	}
-	return s.own
+	return &s.own
 }
 
 // Options tune an SSI node.
@@ -186,10 +186,8 @@ func (s *SSI) Begin(t *core.Txn) error {
 		} else {
 			sl.snapTS = math.MaxUint64
 		}
-		sl.own = &marks{}
 	case len(s.node.Children) == 0:
 		sl.snapTS = t.BeginTS
-		sl.own = &marks{}
 	default:
 		child := s.node.ChildFor(t)
 		s.mu.Lock()

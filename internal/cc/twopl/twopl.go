@@ -45,9 +45,11 @@ func New(env *core.Env, node *core.Node) *TwoPL {
 // Name implements core.CC.
 func (p *TwoPL) Name() string { return "2PL" }
 
-// Begin implements core.CC.
+// Begin implements core.CC. The held map is allocated lazily on the first
+// lock acquisition, so transactions that never reach this node's lock table
+// pay one slot allocation only.
 func (p *TwoPL) Begin(t *core.Txn) error {
-	t.Slots[p.node.Depth] = &slot{held: make(map[core.Key]lockmgr.Mode, 8)}
+	t.Slots[p.node.Depth] = &slot{}
 	return nil
 }
 
@@ -63,6 +65,9 @@ func (p *TwoPL) acquire(t *core.Txn, k core.Key, m lockmgr.Mode) error {
 	}
 	if err := p.locks.Acquire(t, k, m); err != nil {
 		return err
+	}
+	if s.held == nil {
+		s.held = make(map[core.Key]lockmgr.Mode, 8)
 	}
 	s.held[k] = m
 	return nil

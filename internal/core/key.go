@@ -8,7 +8,7 @@
 // them lives in internal/engine.
 package core
 
-import "fmt"
+import "strconv"
 
 // Key identifies a row in a table. Tebaldi is a transactional key-value store
 // with a thin table veneer: the table name participates in Runtime
@@ -28,12 +28,35 @@ func K(table, row string) Key { return Key{Table: table, Row: row} }
 // KeyOf builds a row key from integer components, the common case for the
 // TPC-C and SEATS workloads (e.g. KeyOf("district", 3, 7) -> "district/3.7").
 func KeyOf(table string, parts ...int) Key {
-	row := ""
+	var buf [24]byte
+	b := buf[:0]
 	for i, p := range parts {
 		if i > 0 {
-			row += "."
+			b = append(b, '.')
 		}
-		row += fmt.Sprint(p)
+		b = strconv.AppendInt(b, int64(p), 10)
 	}
-	return Key{Table: table, Row: row}
+	return Key{Table: table, Row: string(b)}
+}
+
+// Hash32 is an inlined, allocation-free FNV-1a over "table/row". It produces
+// the same value as hashing k.String() with hash/fnv, so shard placement is
+// stable across the refactor; storage and lockmgr both shard by this hash.
+func (k Key) Hash32() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.Table); i++ {
+		h ^= uint32(k.Table[i])
+		h *= prime32
+	}
+	h ^= uint32('/')
+	h *= prime32
+	for i := 0; i < len(k.Row); i++ {
+		h ^= uint32(k.Row[i])
+		h *= prime32
+	}
+	return h
 }

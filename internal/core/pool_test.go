@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSharedFlagEscapePoints asserts that every operation which lets a *Txn
+// escape to a foreign goroutine marks it shared — the reclamation rule that
+// makes pooling safe (see the Txn doc comment). A missing mark here means a
+// recycled transaction could be observed by a late reader.
+func TestSharedFlagEscapePoints(t *testing.T) {
+	t.Run("AddWrite", func(t *testing.T) {
+		w := NewTxn(1, "w", 0, 1)
+		ch := NewChain(K("t", "r"))
+		v := &Version{Writer: w}
+		ch.Lock()
+		ch.Install(v)
+		ch.Unlock()
+		w.AddWrite(ch, v)
+		if !w.Shared() {
+			t.Fatal("AddWrite must mark the writer shared (versions retain Writer)")
+		}
+	})
+	t.Run("InstallPromise", func(t *testing.T) {
+		w := NewTxn(2, "w", 0, 1)
+		ch := NewChain(K("t", "r"))
+		ch.Lock()
+		ch.InstallPromise(w, 5)
+		ch.Unlock()
+		if !w.Shared() {
+			t.Fatal("InstallPromise must mark the writer shared")
+		}
+	})
+	t.Run("RecordReader", func(t *testing.T) {
+		r := NewTxn(3, "r", 0, 1)
+		ch := NewChain(K("t", "r"))
+		ch.Lock()
+		ch.RecordReader(ReadRec{T: r, SnapshotTS: 1}, 0)
+		ch.Unlock()
+		if !r.Shared() {
+			t.Fatal("RecordReader must mark the reader shared")
+		}
+	})
+	t.Run("AddDep target", func(t *testing.T) {
+		a := NewTxn(4, "a", 0, 1)
+		b := NewTxn(5, "b", 0, 1)
+		if err := a.AddDep(b, false); err != nil {
+			t.Fatal(err)
+		}
+		if !b.Shared() {
+			t.Fatal("AddDep must mark the target shared (its pointer enters a's deps map)")
+		}
+		if a.Shared() {
+			t.Fatal("AddDep must not mark the source shared")
+		}
+	})
+}
+
+// TestPutTxnEligibility asserts PutTxn recycles only finished, never-escaped
+// transactions.
+func TestPutTxnEligibility(t *testing.T) {
+	active := NewTxn(10, "t", 0, 1)
+	if PutTxn(active) {
+		t.Fatal("PutTxn must refuse an Active transaction")
+	}
+
+	shared := NewTxn(11, "t", 0, 1)
+	shared.MarkShared()
+	shared.MarkCommitted(2)
+	if PutTxn(shared) {
+		t.Fatal("PutTxn must refuse a shared transaction")
+	}
+
+	clean := NewTxn(12, "t", 0, 1)
+	clean.MarkCommitted(3)
+	if !PutTxn(clean) {
+		t.Fatal("PutTxn must recycle a finished, unshared transaction")
+	}
+}
+
+// TestGetTxnReset asserts a recycled transaction comes back fully reset:
+// Active, no commit timestamp, no deps/writes, empty Path/Slots, and a Done
+// channel that blocks again.
+func TestGetTxnReset(t *testing.T) {
+	old := GetTxn(20, "old", 7, 9)
+	old.Epoch = 3
+	old.Path = append(old.Path, &Node{}, &Node{})
+	old.Slots = append(old.Slots, "slot0", "slot1")
+	// A waiter allocated the done channel; commit closes it.
+	done := old.Done()
+	old.MarkCommitted(10)
+	<-done
+	if !PutTxn(old) {
+		t.Fatal("expected recycle")
+	}
+
+	// sync.Pool gives no identity guarantee; whatever comes back must obey
+	// the reset contract.
+	fresh := GetTxn(21, "fresh", 1, 2)
+	if fresh.State() != Active || fresh.CommitTS() != 0 {
+		t.Fatalf("fresh txn not Active/uncommitted: %v ts=%d", fresh.State(), fresh.CommitTS())
+	}
+	if fresh.Shared() {
+		t.Fatal("fresh txn must not be shared")
+	}
+	if len(fresh.Path) != 0 || len(fresh.Slots) != 0 {
+		t.Fatalf("fresh txn has stale Path/Slots: %d/%d", len(fresh.Path), len(fresh.Slots))
+	}
+	if fresh.HasDeps() || fresh.HasWrites() {
+		t.Fatal("fresh txn has stale deps/writes")
+	}
+	if fresh.Epoch != 0 {
+		t.Fatalf("fresh txn has stale Epoch %d", fresh.Epoch)
+	}
+	select {
+	case <-fresh.Done():
+		t.Fatal("fresh txn's Done channel is already closed")
+	default:
+	}
+}
+
+// TestDoneLazyAllocation asserts the Done channel contract across the lazy
+// allocation: waiters registered before the finish are woken, and Done after
+// the finish returns an already-closed channel without allocating per call.
+func TestDoneLazyAllocation(t *testing.T) {
+	w := NewTxn(30, "t", 0, 1)
+	done := w.Done()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		w.MarkAborted()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not woken by MarkAborted")
+	}
+	if c := w.Done(); c == nil {
+		t.Fatal("Done after finish must return a closed channel, not nil")
+	} else {
+		select {
+		case <-c:
+		default:
+			t.Fatal("Done after finish must be closed")
+		}
+	}
+
+	// Never-waited-on transactions finish without ever allocating a channel.
+	q := NewTxn(31, "t", 0, 1)
+	q.MarkCommitted(2)
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("Done on a finished txn must be closed")
+	}
+}

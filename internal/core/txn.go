@@ -53,6 +53,30 @@ type WriteRef struct {
 // a path of CC-tree nodes (root..leaf); every node on the path participates
 // in each of the four protocol phases. Per-node protocol state lives in
 // Slots, indexed by the node's depth.
+//
+// # Reclamation rule (transaction pooling)
+//
+// Txn objects are recycled through a sync.Pool (GetTxn/PutTxn) to keep
+// read-only transactions allocation-free. Recycling is safe only if no other
+// goroutine can still hold the pointer when it is reused, so every operation
+// that lets the pointer escape the owning goroutine sets a sticky `shared`
+// flag, and PutTxn refuses to recycle a shared transaction. The escape
+// points are:
+//
+//   - AddWrite / InstallPromise: an installed Version carries Writer *Txn,
+//     which late readers may follow long after commit.
+//   - Chain.RecordReader: the chain's reader list holds ReadRec.T.
+//   - AddDep: the *target* transaction's pointer enters this txn's deps map
+//     (targets reaching AddDep are already shared — they came from a version
+//     or a lock table — but AddDep re-marks them for robustness).
+//   - lockmgr.Acquire: the lock table's owner map and blocked waiters retain
+//     the pointer (lockmgr calls MarkShared).
+//   - Tx.Txn(): an external handle escapes to tooling/tests.
+//
+// All escapes happen on the owner goroutine before the pointer is published,
+// so the flag check at finish time is race-free. Read-only transactions under
+// an optimized snapshot tree (no locks, no reader records, no writes, no
+// deps) hit none of these and are recycled on every commit.
 type Txn struct {
 	// ID is unique per engine instance.
 	ID uint64
@@ -77,14 +101,28 @@ type Txn struct {
 
 	state    atomic.Int32
 	commitTS atomic.Uint64
-	done     chan struct{}
+	shared   atomic.Bool
 
+	// mu guards done/deps/writes. It may be taken while a chain mutex is
+	// held (AddDep under the reader's chain lock; Mark*→wake under test
+	// setups) and its critical sections never acquire other locks.
+	// tebaldi:locks after core.Chain
 	mu     sync.Mutex
+	done   chan struct{} // lazily allocated by Done; nil if nobody waited
 	deps   map[uint64]Dep
 	writes []WriteRef
 }
 
+// closedChan is returned by Done for already-finished transactions so the
+// common never-waited-on case needs no channel allocation at all.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // NewTxn constructs an Active transaction. The engine fills in Path/Slots.
+// The done channel and deps map are allocated lazily on first use.
 func NewTxn(id uint64, typ string, part uint64, beginTS uint64) *Txn {
 	return &Txn{
 		ID:      id,
@@ -92,10 +130,60 @@ func NewTxn(id uint64, typ string, part uint64, beginTS uint64) *Txn {
 		Part:    part,
 		BeginTS: beginTS,
 		Start:   time.Now(),
-		done:    make(chan struct{}),
-		deps:    make(map[uint64]Dep, 8),
 	}
 }
+
+var txnPool = sync.Pool{New: func() any { return new(Txn) }}
+
+// GetTxn returns a pooled Active transaction, falling back to allocation.
+// Path/Slots retain their backing arrays from a previous life (length 0).
+func GetTxn(id uint64, typ string, part uint64, beginTS uint64) *Txn {
+	t := txnPool.Get().(*Txn)
+	t.ID = id
+	t.Type = typ
+	t.Part = part
+	t.BeginTS = beginTS
+	t.Start = time.Now()
+	return t
+}
+
+// PutTxn recycles a finished transaction whose pointer provably never escaped
+// the owning goroutine (see the reclamation rule on Txn). It reports whether
+// the transaction was recycled; shared or still-active transactions are left
+// for the garbage collector.
+func PutTxn(t *Txn) bool {
+	if t.State() == Active || t.shared.Load() {
+		return false
+	}
+	t.ID, t.Type, t.Part, t.BeginTS, t.Epoch = 0, "", 0, 0, 0
+	t.Start = time.Time{}
+	// Zero the elements before truncating so stale CC slot state and node
+	// pointers don't survive into the next life via the shared backing array.
+	for i := range t.Path {
+		t.Path[i] = nil
+	}
+	t.Path = t.Path[:0]
+	for i := range t.Slots {
+		t.Slots[i] = nil
+	}
+	t.Slots = t.Slots[:0]
+	t.state.Store(int32(Active))
+	t.commitTS.Store(0)
+	t.done = nil
+	clear(t.deps)
+	t.writes = t.writes[:0]
+	txnPool.Put(t)
+	return true
+}
+
+// MarkShared records that t's pointer escaped to a place a foreign goroutine
+// may read after t finishes (version chains, lock tables, dependency sets).
+// The flag is sticky: once shared, the Txn is never pooled.
+func (t *Txn) MarkShared() { t.shared.Store(true) }
+
+// Shared reports whether the transaction's pointer has escaped (see
+// MarkShared); used by the pool eligibility check and its tests.
+func (t *Txn) Shared() bool { return t.shared.Load() }
 
 // State returns the transaction's current lifecycle state.
 func (t *Txn) State() TxnState { return TxnState(t.state.Load()) }
@@ -103,8 +191,32 @@ func (t *Txn) State() TxnState { return TxnState(t.state.Load()) }
 // CommitTS returns the commit timestamp, or 0 if not committed.
 func (t *Txn) CommitTS() uint64 { return t.commitTS.Load() }
 
-// Done returns a channel closed when the transaction commits or aborts.
-func (t *Txn) Done() <-chan struct{} { return t.done }
+// Done returns a channel closed when the transaction commits or aborts. The
+// channel is allocated on first call; transactions nobody waits on never pay
+// for one.
+func (t *Txn) Done() <-chan struct{} {
+	t.mu.Lock()
+	if t.done == nil {
+		if t.State() != Active {
+			t.mu.Unlock()
+			return closedChan
+		}
+		t.done = make(chan struct{})
+	}
+	d := t.done
+	t.mu.Unlock()
+	return d
+}
+
+// wake closes the lazily created done channel, if any waiter allocated one.
+func (t *Txn) wake() {
+	t.mu.Lock()
+	if t.done != nil {
+		close(t.done)
+		t.done = nil
+	}
+	t.mu.Unlock()
+}
 
 // Finished reports whether the transaction has committed or aborted.
 func (t *Txn) Finished() bool { return t.State() != Active }
@@ -120,7 +232,7 @@ func (t *Txn) MarkCommittedNext(o Oracle) (uint64, bool) {
 		t.commitTS.Store(0)
 		return 0, false
 	}
-	close(t.done)
+	t.wake()
 	return ts, true
 }
 
@@ -135,7 +247,7 @@ func (t *Txn) MarkCommitted(ts uint64) bool {
 		t.commitTS.Store(0)
 		return false
 	}
-	close(t.done)
+	t.wake()
 	return true
 }
 
@@ -145,7 +257,7 @@ func (t *Txn) MarkAborted() bool {
 	if !t.state.CompareAndSwap(int32(Active), int32(Aborted)) {
 		return false
 	}
-	close(t.done)
+	t.wake()
 	return true
 }
 
@@ -167,8 +279,14 @@ func (t *Txn) AddDep(other *Txn, read bool) error {
 		}
 		return nil
 	}
+	// The target's pointer is retained in our deps map and waited on at
+	// commit; it must never be recycled under us.
+	other.MarkShared()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.deps == nil {
+		t.deps = make(map[uint64]Dep, 4)
+	}
 	if d, ok := t.deps[other.ID]; ok {
 		if read && !d.Read {
 			t.deps[other.ID] = Dep{T: other, Read: true}
@@ -177,6 +295,15 @@ func (t *Txn) AddDep(other *Txn, read bool) error {
 	}
 	t.deps[other.ID] = Dep{T: other, Read: read}
 	return nil
+}
+
+// HasDeps reports whether any dependency edges have been recorded; the
+// commit path uses it to skip the wait loop (and its allocations) entirely.
+func (t *Txn) HasDeps() bool {
+	t.mu.Lock()
+	n := len(t.deps)
+	t.mu.Unlock()
+	return n > 0
 }
 
 // Deps returns a snapshot of the recorded dependency set.
@@ -197,6 +324,9 @@ func (t *Txn) Deps() []Dep {
 // while waiting (by concurrent operations of this transaction) are picked up
 // by re-snapshotting until a fixed point.
 func (t *Txn) WaitDeps(timeout time.Duration) error {
+	if !t.HasDeps() {
+		return nil
+	}
 	deadline := time.Now().Add(timeout)
 	seen := make(map[uint64]bool)
 	for {
@@ -227,11 +357,22 @@ func (t *Txn) WaitDeps(timeout time.Duration) error {
 	}
 }
 
-// AddWrite records an installed (still uncommitted) version.
+// AddWrite records an installed (still uncommitted) version. The version
+// carries the writer pointer, so the transaction becomes shared.
 func (t *Txn) AddWrite(c *Chain, v *Version) {
+	t.MarkShared()
 	t.mu.Lock()
 	t.writes = append(t.writes, WriteRef{Chain: c, V: v})
 	t.mu.Unlock()
+}
+
+// HasWrites reports whether the transaction has installed any versions; the
+// read path uses it to skip the read-your-own-writes chain lock.
+func (t *Txn) HasWrites() bool {
+	t.mu.Lock()
+	n := len(t.writes)
+	t.mu.Unlock()
+	return n > 0
 }
 
 // Writes returns the transaction's installed versions.

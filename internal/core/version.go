@@ -82,6 +82,15 @@ type ReadRec struct {
 // or take other chain locks while holding it.
 type Chain struct {
 	Key Key
+	// Shard is the index of the storage shard holding this chain, memoized
+	// at creation so hot paths (commit WAL grouping, checkpoint, GC marking)
+	// never re-hash the key. Written once by storage before the chain is
+	// published; read-only afterwards.
+	Shard int
+
+	// gcPending dedups membership in the storage layer's pending-GC list: a
+	// chain is enqueued only on a false->true transition. See Store.MarkGC.
+	gcPending atomic.Bool
 
 	mu sync.Mutex
 	// versions in install order. Committed versions are totally ordered
@@ -104,12 +113,28 @@ func (c *Chain) Unlock() { c.mu.Unlock() }
 // slice must not be retained past Unlock.
 func (c *Chain) Versions() []*Version { return c.versions }
 
-// Install appends a pending version. The chain mutex must be held.
-func (c *Chain) Install(v *Version) { c.versions = append(c.versions, v) }
+// Install appends a pending version and returns the resulting chain length,
+// so callers can flag multi-version chains for incremental GC after releasing
+// the lock. The chain mutex must be held.
+func (c *Chain) Install(v *Version) int {
+	c.versions = append(c.versions, v)
+	return len(c.versions)
+}
+
+// TryEnqueueGC flips the pending-GC flag and reports whether this caller won
+// the false->true transition (and so must enqueue the chain). Safe without
+// the chain mutex.
+func (c *Chain) TryEnqueueGC() bool { return c.gcPending.CompareAndSwap(false, true) }
+
+// ClearGCPending resets the pending-GC flag; the incremental collector calls
+// it before scanning so any concurrent install re-enqueues the chain.
+func (c *Chain) ClearGCPending() { c.gcPending.Store(false) }
 
 // InstallPromise appends a promise placeholder for writer t with TSO
-// timestamp ts and returns it. The chain mutex must be held.
+// timestamp ts and returns it. The chain mutex must be held. The promise
+// retains the writer pointer, so the writer becomes shared.
 func (c *Chain) InstallPromise(t *Txn, ts uint64) *Version {
+	t.MarkShared()
 	v := &Version{Writer: t, TS: ts, Promise: true, ready: make(chan struct{})}
 	c.versions = append(c.versions, v)
 	return v
@@ -189,6 +214,9 @@ func (c *Chain) HasNewerCommitted(ts uint64) bool {
 // below the watermark (they cannot be concurrent with any active
 // transaction). The chain mutex must be held.
 func (c *Chain) RecordReader(r ReadRec, watermark uint64) {
+	// The reader's pointer is retained in the chain and inspected by future
+	// writers; it must never be recycled while reachable here.
+	r.T.MarkShared()
 	if len(c.readers) > 32 {
 		live := c.readers[:0]
 		for _, rr := range c.readers {
@@ -216,6 +244,14 @@ func (c *Chain) Readers() []ReadRec { return c.readers }
 // or above the watermark, so such versions can never be read again. Returns
 // the number of versions pruned.
 func (c *Chain) GC(watermark uint64) int {
+	pruned, _ := c.GCStep(watermark)
+	return pruned
+}
+
+// GCStep is GC plus the number of versions remaining, letting the incremental
+// collector decide whether the chain needs to stay on the pending list
+// (remaining > 1 means future watermark advances may prune more).
+func (c *Chain) GCStep(watermark uint64) (pruned, remaining int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Find the newest committed version at or below the watermark; every
@@ -230,9 +266,8 @@ func (c *Chain) GC(watermark uint64) int {
 		}
 	}
 	if !found {
-		return 0
+		return 0, len(c.versions)
 	}
-	pruned := 0
 	live := c.versions[:0]
 	for _, v := range c.versions {
 		if v.Committed() && v.CommitTS() < keepTS {
@@ -241,8 +276,13 @@ func (c *Chain) GC(watermark uint64) int {
 		}
 		live = append(live, v)
 	}
+	// Release the pruned tail so version values don't leak via the backing
+	// array.
+	for i := len(live); i < len(c.versions); i++ {
+		c.versions[i] = nil
+	}
 	c.versions = live
-	return pruned
+	return pruned, len(live)
 }
 
 // Len returns the number of versions (committed + pending).

@@ -243,14 +243,20 @@ func (e *Engine) Begin(typ string, part uint64) (*Tx, error) {
 			<-ch
 			continue
 		}
-		t = core.NewTxn(e.txnSeq.Add(1), typ, part, e.oracle.Next())
-		t.Path = e.tree.Root.PathFor(t)
-		t.Slots = make([]any, len(t.Path))
+		// Pooled transaction: Path/Slots keep their backing arrays from a
+		// previous life (see core.PutTxn's reclamation rule).
+		t = core.GetTxn(e.txnSeq.Add(1), typ, part, e.oracle.Next())
+		t.Path = e.tree.Root.AppendPath(t, t.Path)
+		if cap(t.Slots) >= len(t.Path) {
+			t.Slots = t.Slots[:len(t.Path)]
+		} else {
+			t.Slots = make([]any, len(t.Path))
+		}
 		e.register(t)
 		e.gate.RUnlock()
 		break
 	}
-	tx := &Tx{e: e, t: t}
+	tx := &Tx{e: e, t: t, id: t.ID}
 	for _, n := range t.Path {
 		if err := n.CC.Begin(t); err != nil {
 			return nil, tx.abortWith(err)
@@ -369,9 +375,11 @@ func (e *Engine) gcLoop() {
 		case <-tick.C:
 			// ckMu pauses GC while a checkpoint scans the chains: GC
 			// running under a newer watermark could prune the very
-			// versions the checkpoint cut still needs.
+			// versions the checkpoint cut still needs. Only chains the
+			// write path flagged as multi-version are visited; the old
+			// full-keyspace sweep every tick dominated CPU profiles.
 			e.ckMu.Lock()
-			e.store.GC(e.Watermark())
+			e.store.GCPending(e.Watermark())
 			e.ckMu.Unlock()
 		}
 	}
@@ -424,8 +432,7 @@ func (e *Engine) Checkpoint() error {
 		}
 		val, cts := v.Value, v.CommitTS()
 		c.Unlock()
-		sh := e.store.ShardIndex(c.Key)
-		perShard[sh] = append(perShard[sh], wal.SnapshotEntry{Key: c.Key, Value: val, CommitTS: cts})
+		perShard[c.Shard] = append(perShard[c.Shard], wal.SnapshotEntry{Key: c.Key, Value: val, CommitTS: cts})
 	})
 	res, err := e.walMgr.Checkpoint(snapTS, perShard)
 	e.stats.recordCheckpoint(res, err)
@@ -444,11 +451,18 @@ func (e *Engine) netDelay() {
 // version as plain committed history.
 func (e *Engine) loadVersion(k core.Key, value []byte, commitTS uint64) {
 	w := core.NewTxn(math.MaxUint64-e.loadSeq.Add(1), "_load", 0, 0)
+	w.MarkShared() // retained by the installed version; never pool-eligible
 	w.MarkCommitted(commitTS)
 	ch := e.store.Chain(k)
 	ch.Lock()
-	ch.Install(&core.Version{Writer: w, Value: value})
+	n := ch.Install(&core.Version{Writer: w, Value: value})
 	ch.Unlock()
+	if n > 1 {
+		// Recovery replays several writes of the same key onto one chain;
+		// flag it so the incremental collector visits it (the write path
+		// only flags chains it grows itself).
+		e.store.MarkGC(ch)
+	}
 }
 
 // Load bulk-loads a committed key-value pair (initial database population).

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestTxnPoolStress hammers the exact shape transaction pooling optimizes —
+// read-only transactions under optimized SSI over a NoCC group, which never
+// escape and recycle through the pool — concurrently with 2PL writers whose
+// Txns escape into version chains, plus background GC pruning those chains.
+// Run under -race (the CI stress matrix does, with -count 5): a pooling bug
+// (recycling a Txn a version or dependency edge still points at) shows up
+// as a race report or as a reader observing torn/nonsense balances.
+func TestTxnPoolStress(t *testing.T) {
+	const accounts = 8
+	cfg := G(KindSSI, nil,
+		G(KindNone, []string{"audit"}),
+		G(Kind2PL, []string{"transfer", "deposit"}))
+	e, err := New(Options{
+		Shards:      4,
+		LockTimeout: 2 * time.Second,
+		GCInterval:  5 * time.Millisecond, // keep the collector racing the pool
+	}, bankSpecs(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	for i := 0; i < accounts; i++ {
+		e.Load(core.KeyOf("account", i), u64(1000))
+	}
+
+	iters := 400
+	if testing.Short() {
+		iters = 100
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	// Writers: circular transfers preserve the total balance.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				from := (seed + i) % accounts
+				to := (from + 1) % accounts
+				err := e.RunTxn("transfer", 0, func(tx *Tx) error {
+					fv, err := tx.Read(core.KeyOf("account", from))
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(core.KeyOf("account", to))
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(core.KeyOf("account", from), u64(asU64(fv)-1)); err != nil {
+						return err
+					}
+					return tx.Write(core.KeyOf("account", to), u64(asU64(tv)+1))
+				})
+				if err != nil && !core.IsRetryable(err) {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: pooled read-only audits; the snapshot sum is a serializability
+	// and use-after-recycle witness in one.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := e.RunTxn("audit", 0, func(tx *Tx) error {
+					var sum uint64
+					for a := 0; a < accounts; a++ {
+						v, err := tx.Read(core.KeyOf("account", a))
+						if err != nil {
+							return err
+						}
+						sum += asU64(v)
+					}
+					if sum != accounts*1000 {
+						t.Errorf("audit saw sum %d, want %d", sum, accounts*1000)
+					}
+					return nil
+				})
+				if err != nil && !core.IsRetryable(err) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

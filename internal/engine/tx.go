@@ -11,20 +11,30 @@ import (
 // Tx is a handle on one executing transaction. All methods must be called
 // from a single goroutine (transactions are client-driven, §4.5.1).
 type Tx struct {
-	e        *Engine
-	t        *core.Txn
+	e *Engine
+	t *core.Txn
+	// id is a stable copy of the transaction id: the underlying Txn may be
+	// recycled through the pool once the transaction finishes.
+	id       uint64
 	finished bool
 }
 
 // ID returns the transaction id.
-func (tx *Tx) ID() uint64 { return tx.t.ID }
+func (tx *Tx) ID() uint64 { return tx.id }
 
-// Txn exposes the underlying transaction (tests, tooling).
-func (tx *Tx) Txn() *core.Txn { return tx.t }
+// Txn exposes the underlying transaction (tests, tooling). The pointer is
+// valid only until the transaction finishes: exposing it pins the Txn out of
+// the recycling pool, and after commit/abort it must not be dereferenced.
+func (tx *Tx) Txn() *core.Txn {
+	if !tx.finished {
+		tx.t.MarkShared()
+	}
+	return tx.t
+}
 
 func (tx *Tx) check() error {
 	if tx.finished {
-		return fmt.Errorf("engine: transaction %d already finished", tx.t.ID)
+		return fmt.Errorf("engine: transaction %d already finished", tx.id)
 	}
 	if tx.t.State() == core.Aborted {
 		// Force-aborted (reconfiguration drain): clean up on the
@@ -37,6 +47,11 @@ func (tx *Tx) check() error {
 // Read returns the value of k as selected by the CC tree (nil when the key
 // is absent at the transaction's snapshot). The returned slice must not be
 // modified.
+//
+// The no-conflict path takes the chain mutex exactly once: the
+// read-your-own-writes pre-check is skipped entirely until the transaction
+// has installed a version somewhere (an owner-goroutine check, no locking),
+// and the wait deadline is computed only if a wait actually occurs.
 func (tx *Tx) Read(k core.Key) ([]byte, error) {
 	if err := tx.check(); err != nil {
 		return nil, err
@@ -45,16 +60,28 @@ func (tx *Tx) Read(k core.Key) ([]byte, error) {
 	tx.e.netDelay()
 	ch := tx.e.store.Chain(k)
 
-	// Read-your-own-writes fast path.
-	ch.Lock()
-	if v := ch.VersionBy(t); v != nil && !v.Promise {
-		val := v.Value
+	// Read-your-own-writes fast path. Only transactions that have written
+	// can hit it; promises are excluded here exactly as before (a promise
+	// version is fulfilled through Write, not read back).
+	if t.HasWrites() {
+		ch.Lock()
+		if v := ch.VersionBy(t); v != nil && !v.Promise {
+			val := v.Value
+			ch.Unlock()
+			return val, nil
+		}
 		ch.Unlock()
-		return val, nil
 	}
-	ch.Unlock()
 
 	// Top-down pass: every CC on the path may block or abort.
+	if len(t.Path) == 1 {
+		// Single-leaf (depth-1) tree: no amend chain, no proposal
+		// threading — one CC, one lock acquisition.
+		if err := t.Path[0].CC.PreRead(t, k); err != nil {
+			return nil, tx.abortWith(err)
+		}
+		return tx.readLeaf(t.Path[0], k, ch)
+	}
 	for _, n := range t.Path {
 		if err := n.CC.PreRead(t, k); err != nil {
 			return nil, tx.abortWith(err)
@@ -62,7 +89,7 @@ func (tx *Tx) Read(k core.Key) ([]byte, error) {
 	}
 
 	// Bottom-up pass: the leaf proposes, ancestors amend.
-	deadline := time.Now().Add(tx.e.opts.LockTimeout)
+	var deadline time.Time
 	for {
 		ch.Lock()
 		var proposal *core.Version
@@ -80,21 +107,11 @@ func (tx *Tx) Read(k core.Key) ([]byte, error) {
 			}
 		}
 		if waitFor == nil {
-			var val []byte
-			if proposal != nil {
-				if proposal.Pending() && proposal.Writer != t {
-					// Read-from an uncommitted version:
-					// record the cascading dependency while
-					// the chain is locked, so an abort of
-					// the writer cannot slip in between.
-					if err := t.AddDep(proposal.Writer, true); err != nil {
-						ch.Unlock()
-						return nil, tx.abortWith(err)
-					}
-				}
-				val = proposal.Value
-			}
+			val, ferr := finishRead(t, proposal)
 			ch.Unlock()
+			if ferr != nil {
+				return nil, tx.abortWith(ferr)
+			}
 			return val, nil
 		}
 		// The version is not readable yet: either a promised write
@@ -102,24 +119,84 @@ func (tx *Tx) Read(k core.Key) ([]byte, error) {
 		// whose outcome the snapshot depends on. Wait and retry.
 		v := waitFor.V
 		ch.Unlock()
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil, tx.abortWith(core.ErrTimeout)
+		if err := tx.waitVersion(v, &deadline); err != nil {
+			return nil, err
 		}
-		waitCh := v.Ready()
-		if waitCh == nil {
-			waitCh = v.Writer.Done()
+	}
+}
+
+// readLeaf is Read's bottom-up pass specialized for depth-1 trees.
+func (tx *Tx) readLeaf(n *core.Node, k core.Key, ch *core.Chain) ([]byte, error) {
+	t := tx.t
+	var deadline time.Time
+	for {
+		ch.Lock()
+		proposal, err := n.CC.AmendRead(t, k, ch, nil)
+		if err == nil {
+			val, ferr := finishRead(t, proposal)
+			ch.Unlock()
+			if ferr != nil {
+				return nil, tx.abortWith(ferr)
+			}
+			return val, nil
 		}
-		start := time.Now()
-		timer := time.NewTimer(remain)
-		select {
-		case <-waitCh:
-			timer.Stop()
-			tx.e.env.Report(t, v.Writer, start, time.Now())
-		case <-timer.C:
-			tx.e.env.Report(t, v.Writer, start, time.Now())
-			return nil, tx.abortWith(core.ErrTimeout)
+		w, ok := err.(*core.WaitFor)
+		if !ok {
+			ch.Unlock()
+			return nil, tx.abortWith(err)
 		}
+		v := w.V
+		ch.Unlock()
+		if err := tx.waitVersion(v, &deadline); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// finishRead extracts the value from an accepted proposal and records the
+// cascading read-from dependency if the version is still pending. Called
+// with the chain lock held and leaves it held; the caller unlocks and turns
+// a non-nil error into an abort.
+func finishRead(t *core.Txn, proposal *core.Version) ([]byte, error) {
+	if proposal == nil {
+		return nil, nil
+	}
+	if proposal.Pending() && proposal.Writer != t {
+		// Read-from an uncommitted version: record the cascading
+		// dependency while the chain is locked, so an abort of the
+		// writer cannot slip in between.
+		if err := t.AddDep(proposal.Writer, true); err != nil {
+			return nil, err
+		}
+	}
+	return proposal.Value, nil
+}
+
+// waitVersion blocks until v becomes readable (promise fulfilled or writer
+// finished). The overall Read deadline is initialized lazily on the first
+// wait, so wait-free reads never query the clock for it.
+func (tx *Tx) waitVersion(v *core.Version, deadline *time.Time) error {
+	if deadline.IsZero() {
+		*deadline = time.Now().Add(tx.e.opts.LockTimeout)
+	}
+	remain := time.Until(*deadline)
+	if remain <= 0 {
+		return tx.abortWith(core.ErrTimeout)
+	}
+	waitCh := v.Ready()
+	if waitCh == nil {
+		waitCh = v.Writer.Done()
+	}
+	start := time.Now()
+	timer := time.NewTimer(remain)
+	select {
+	case <-waitCh:
+		timer.Stop()
+		tx.e.env.Report(tx.t, v.Writer, start, time.Now())
+		return nil
+	case <-timer.C:
+		tx.e.env.Report(tx.t, v.Writer, start, time.Now())
+		return tx.abortWith(core.ErrTimeout)
 	}
 }
 
@@ -138,6 +215,7 @@ func (tx *Tx) Write(k core.Key, value []byte) error {
 	}
 
 	ch := tx.e.store.Chain(k)
+	grew := 0
 	ch.Lock()
 	v := ch.VersionBy(t)
 	switch {
@@ -153,7 +231,7 @@ func (tx *Tx) Write(k core.Key, value []byte) error {
 		return nil
 	default:
 		v = &core.Version{Writer: t, Value: value}
-		ch.Install(v)
+		grew = ch.Install(v)
 		t.AddWrite(ch, v)
 	}
 	// Bottom-up pass: conflict checks and ordering metadata.
@@ -164,6 +242,12 @@ func (tx *Tx) Write(k core.Key, value []byte) error {
 		}
 	}
 	ch.Unlock()
+	if grew > 1 {
+		// The chain now holds history; flag it for the incremental
+		// collector. Outside the chain lock: MarkGC takes the storage
+		// shard mutex, which must never nest inside a chain mutex.
+		tx.e.store.MarkGC(ch)
+	}
 	return nil
 }
 
@@ -186,6 +270,9 @@ func (tx *Tx) Promise(keys ...core.Key) error {
 				p.Promise(tx.t, ch)
 				ch.Unlock()
 			}
+		}
+		if ch.Len() > 1 {
+			tx.e.store.MarkGC(ch)
 		}
 	}
 	return nil
@@ -228,8 +315,8 @@ func (tx *Tx) Commit() error {
 	if tx.e.walMgr != nil {
 		byShard := map[int][]wal.KV{}
 		for _, w := range t.Writes() {
-			sh := tx.e.store.ShardIndex(w.Chain.Key)
-			byShard[sh] = append(byShard[sh], wal.KV{Key: w.Chain.Key, Value: w.V.Value})
+			// Chain.Shard is memoized at creation; no re-hash per write.
+			byShard[w.Chain.Shard] = append(byShard[w.Chain.Shard], wal.KV{Key: w.Chain.Key, Value: w.V.Value})
 		}
 		if len(byShard) > 0 {
 			var err error
@@ -285,15 +372,23 @@ func (tx *Tx) Commit() error {
 	}
 	tx.e.stats.recordCommit(t)
 	tx.finished = true
+	// Recycle after the last engine-side read of t. PutTxn refuses
+	// transactions whose pointer escaped (see core.Txn's reclamation rule).
+	core.PutTxn(t)
 	return nil
 }
 
 // waitDeps enforces consistent ordering at commit: the transaction commits
 // only after every recorded dependency has committed (the generalization of
 // the nexus lock release order). Each wait is reported to the profiler as a
-// blocking event on the dependency's transaction type.
+// blocking event on the dependency's transaction type. Transactions with no
+// recorded dependencies (every read hit committed history) skip the loop and
+// its allocations entirely.
 func (tx *Tx) waitDeps() error {
 	t := tx.t
+	if !t.HasDeps() {
+		return nil
+	}
 	deadline := time.Now().Add(tx.e.opts.LockTimeout)
 	seen := make(map[uint64]bool)
 	for {
@@ -369,5 +464,6 @@ func (tx *Tx) abortWith(cause error) error {
 	}
 	tx.e.unregister(t)
 	tx.e.stats.recordAbort(t, cause)
+	core.PutTxn(t)
 	return cause
 }

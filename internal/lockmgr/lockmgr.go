@@ -17,7 +17,6 @@
 package lockmgr
 
 import (
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -76,11 +75,9 @@ func New(env *core.Env, exempt func(a, b *core.Txn) bool) *Table {
 }
 
 func (t *Table) shardFor(k core.Key) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(k.Table))
-	h.Write([]byte{'/'})
-	h.Write([]byte(k.Row))
-	return &t.shards[h.Sum32()%numShards]
+	// Inlined FNV-1a (core.Key.Hash32): hash/fnv allocated a hasher and
+	// three byte-slice conversions on every call; placement is unchanged.
+	return &t.shards[k.Hash32()%numShards]
 }
 
 // conflicts reports whether owner's hold in mode om conflicts with txn
@@ -101,8 +98,13 @@ func (t *Table) conflicts(owner *core.Txn, om Mode, txn *core.Txn, m Mode) bool 
 // are supported. Ordering dependencies on the owners waited for are recorded
 // on txn.
 func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
+	// The lock table retains the pointer (owner map; waiters hold it as
+	// their recorded blocker) past this call: the txn must never be pooled.
+	txn.MarkShared()
 	s := t.shardFor(k)
-	deadline := time.Now().Add(t.env.LockTimeout)
+	// Deadline for the wait path, computed on first conflict only: the
+	// uncontended grant never queries the clock.
+	var deadline time.Time
 
 	var blockStart time.Time
 	var blocker *core.Txn
@@ -199,6 +201,9 @@ func (t *Table) Acquire(txn *core.Txn, k core.Key, m Mode) error {
 			return err
 		}
 
+		if deadline.IsZero() {
+			deadline = time.Now().Add(t.env.LockTimeout)
+		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			t.doneWaiting(s, k, txn, true)

@@ -10,7 +10,6 @@
 package storage
 
 import (
-	"hash/fnv"
 	"sync"
 
 	"repro/internal/core"
@@ -22,10 +21,12 @@ type Store struct {
 	shards []*Shard
 }
 
-// Shard holds one data server's version chains.
+// Shard holds one data server's version chains, plus the list of chains
+// flagged as needing garbage collection (see MarkGC).
 type Shard struct {
 	mu     sync.RWMutex
 	chains map[core.Key]*core.Chain
+	gcq    []*core.Chain
 }
 
 // New creates a store with n shards (n >= 1).
@@ -43,18 +44,17 @@ func New(n int) *Store {
 // NumShards returns the shard (data server) count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// ShardIndex returns the data server owning key k.
+// ShardIndex returns the data server owning key k. The FNV-1a hash is
+// inlined (core.Key.Hash32) so the lookup is allocation-free; it computes
+// the same placement as the previous hash/fnv implementation.
 func (s *Store) ShardIndex(k core.Key) int {
-	h := fnv.New32a()
-	h.Write([]byte(k.Table))
-	h.Write([]byte{'/'})
-	h.Write([]byte(k.Row))
-	return int(h.Sum32()) % len(s.shards)
+	return int(k.Hash32()) % len(s.shards)
 }
 
 // Chain returns the version chain for k, creating it if absent.
 func (s *Store) Chain(k core.Key) *core.Chain {
-	sh := s.shards[s.ShardIndex(k)]
+	idx := s.ShardIndex(k)
+	sh := s.shards[idx]
 	sh.mu.RLock()
 	c := sh.chains[k]
 	sh.mu.RUnlock()
@@ -65,6 +65,7 @@ func (s *Store) Chain(k core.Key) *core.Chain {
 	defer sh.mu.Unlock()
 	if c = sh.chains[k]; c == nil {
 		c = core.NewChain(k)
+		c.Shard = idx
 		sh.chains[k] = c
 	}
 	return c
@@ -78,7 +79,7 @@ func (s *Store) Lookup(k core.Key) *core.Chain {
 	return sh.chains[k]
 }
 
-// ForEach visits every chain (GC, recovery, checkpointing). The callback
+// ForEach visits every chain (full GC, recovery, checkpointing). The callback
 // must not create new chains on this store.
 func (s *Store) ForEach(f func(*core.Chain)) {
 	for _, sh := range s.shards {
@@ -94,6 +95,51 @@ func (s *Store) ForEach(f func(*core.Chain)) {
 	}
 }
 
+// MarkGC flags a chain as holding (or about to hold) more than one version,
+// enqueuing it for the next incremental GC pass. The engine calls it after
+// releasing the chain mutex (never while holding it — the shard mutex is
+// ordered after the chain mutex here). Duplicate marks are absorbed by the
+// chain's pending flag, so the queue holds each chain at most once per drain
+// cycle.
+func (s *Store) MarkGC(c *core.Chain) {
+	if !c.TryEnqueueGC() {
+		return
+	}
+	sh := s.shards[c.Shard]
+	sh.mu.Lock()
+	sh.gcq = append(sh.gcq, c)
+	sh.mu.Unlock()
+}
+
+// GCPending prunes only the chains flagged by MarkGC since the last pass,
+// re-flagging any that still hold multiple versions (a pending writer or a
+// committed version above the watermark may become prunable later). This is
+// what the background collector runs: its cost is proportional to the hot
+// write set, not the keyspace — the previous full-keyspace scan every
+// interval was the single largest CPU consumer in YCSB profiles. Returns
+// versions pruned.
+func (s *Store) GCPending(watermark uint64) int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		q := sh.gcq
+		sh.gcq = nil
+		sh.mu.Unlock()
+		for _, c := range q {
+			// Clear before scanning: an install racing with this scan
+			// either lands before it (and is seen) or re-enqueues the
+			// chain afterwards.
+			c.ClearGCPending()
+			pruned, remaining := c.GCStep(watermark)
+			total += pruned
+			if remaining > 1 {
+				s.MarkGC(c)
+			}
+		}
+	}
+	return total
+}
+
 // GC prunes every chain against the given watermark (the minimum begin
 // timestamp among active transactions): a committed version is reclaimed
 // when a newer committed version exists at or below the watermark, so no
@@ -102,7 +148,9 @@ func (s *Store) ForEach(f func(*core.Chain)) {
 // This is the epoch rule of §4.5.3 with the epoch boundary expressed as a
 // timestamp watermark: all CCs in this codebase order reads by oracle
 // timestamps, so "every CC confirms it will never order a transaction before
-// the epoch" reduces to the watermark comparison.
+// the epoch" reduces to the watermark comparison. The background collector
+// uses the incremental GCPending instead; this full sweep remains for tests
+// and explicit maintenance.
 func (s *Store) GC(watermark uint64) int {
 	total := 0
 	s.ForEach(func(c *core.Chain) { total += c.GC(watermark) })

@@ -20,7 +20,6 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/tebaldi"
 )
@@ -162,7 +161,11 @@ func (c *Client) Load(db *tebaldi.DB) {
 // contention produces waits, not spurious deadlock-by-timeout storms.
 func (c *Client) Mix(rng *rand.Rand) Op {
 	n := c.w.OpsPerTxn
-	writes := make(map[int]bool, n)
+	// Dedup + sort via insertion into a small sorted slice: transactions
+	// are a handful of ops, so this beats the map + sort.Ints machinery
+	// that used to dominate the client-side allocation profile.
+	keys := make([]int, 0, n)
+	writes := make([]bool, 0, n)
 	allRead := true
 	for i := 0; i < n; i++ {
 		k := c.chooser.next(rng)
@@ -170,13 +173,28 @@ func (c *Client) Mix(rng *rand.Rand) Op {
 		if w {
 			allRead = false
 		}
-		writes[k] = writes[k] || w
+		pos := len(keys)
+		dup := false
+		for j, kj := range keys {
+			if kj == k {
+				pos, dup = j, true
+				break
+			}
+			if kj > k {
+				pos = j
+				break
+			}
+		}
+		if dup {
+			writes[pos] = writes[pos] || w
+			continue
+		}
+		keys = append(keys, 0)
+		writes = append(writes, false)
+		copy(keys[pos+1:], keys[pos:])
+		copy(writes[pos+1:], writes[pos:])
+		keys[pos], writes[pos] = k, w
 	}
-	keys := make([]int, 0, len(writes))
-	for k := range writes {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	typ := TxnUpdate
 	if allRead {
 		typ = TxnRead
@@ -187,9 +205,9 @@ func (c *Client) Mix(rng *rand.Rand) Op {
 		rng.Read(val)
 	}
 	return Op{Type: typ, Fn: func(tx *tebaldi.Tx) error {
-		for _, k := range keys {
+		for i, k := range keys {
 			key := tebaldi.KeyOf(Table, k)
-			if writes[k] {
+			if writes[i] {
 				if err := tx.Write(key, val); err != nil {
 					return err
 				}
