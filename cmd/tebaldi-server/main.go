@@ -113,7 +113,6 @@ func run(addr, metricsAddr string, preload, shards int, lockTimeout time.Duratio
 		metricsSrv = &http.Server{Handler: mux}
 		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
 		go func() {
-			//lint:allow syncerr -- http.Serve returns ErrServerClosed on the shutdown path; nothing durable rides on it
 			metricsSrv.Serve(mln)
 		}()
 	}

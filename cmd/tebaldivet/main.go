@@ -1,4 +1,4 @@
-// Command tebaldivet is the repo's domain-specific vet tool: five static
+// Command tebaldivet is the repo's domain-specific vet tool: eight static
 // analyzers that turn the engine's concurrency and durability invariants
 // into compile-time checks (see internal/analysis/tebaldivet).
 //
@@ -8,20 +8,32 @@
 //	go vet -vettool=$(which tebaldivet) ./...  # unitchecker protocol
 //
 // The standalone mode loads packages itself (stdlib-only go/packages
-// substitute, see internal/analysis/load). The vettool mode implements the
-// cmd/go unitchecker contract: -V=full fingerprinting, -flags, and
-// analyzing one package per JSON .cfg file.
+// substitute, see internal/analysis/load), runs one fact-sharing session
+// over the dependency-ordered package list, and dedups findings reported at
+// the same position by multiple compilation units. The vettool mode
+// implements the cmd/go unitchecker contract: -V=full fingerprinting,
+// -flags, analyzing one package per JSON .cfg file, and threading
+// interprocedural facts between package invocations through .vetx files.
 //
 // Findings are suppressed by an adjacent justified annotation:
 //
 //	//lint:allow <analyzer> -- <why this is safe>
 //
-// Exit status: 0 clean, 1 findings (standalone), 2 findings (vettool).
+// Standalone flags:
+//
+//	-sarif FILE     also write findings as SARIF 2.1.0 (GitHub code scanning)
+//	-staleallow     audit mode: flag //lint:allow comments whose analyzer no
+//	                longer fires at that site
+//	-escapepoints   print the poolescape-derived *core.Txn escape-point list
+//
+// Exit status: 0 clean, 1 unsuppressed findings (or stale allows under
+// -staleallow), 2 findings (vettool), 3 driver error.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -30,10 +42,13 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/poolescape"
+	"repro/internal/analysis/sarif"
 	"repro/internal/analysis/tebaldivet"
 )
 
@@ -53,10 +68,17 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+
+	fs := flag.NewFlagSet("tebaldivet", flag.ExitOnError)
+	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1.0 to `file`")
+	staleAllow := fs.Bool("staleallow", false, "audit //lint:allow comments whose analyzer no longer fires")
+	escapePoints := fs.Bool("escapepoints", false, "print the derived *core.Txn escape-point list and exit")
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	os.Exit(standalone(args))
+	os.Exit(standalone(patterns, *sarifOut, *staleAllow, *escapePoints))
 }
 
 // printVersion implements the `-V=full` fingerprint cmd/go uses to build
@@ -73,8 +95,28 @@ func printVersion() {
 	fmt.Printf("%s version devel comments-go-here buildID=%x\n", os.Args[0], h.Sum(nil)[:16])
 }
 
-// standalone loads the module packages matching patterns and analyzes them.
-func standalone(patterns []string) int {
+// diagKey identifies a finding for cross-package dedup: the same file can be
+// analyzed in more than one compilation unit (a package and its test
+// variant), and a finding is one finding no matter how many units surfaced
+// it.
+type diagKey struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	message  string
+}
+
+// siteKey identifies a //lint:allow comment for the staleness audit.
+type siteKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// standalone loads the module packages matching patterns and analyzes them
+// in one fact-sharing session, dependency order first.
+func standalone(patterns []string, sarifOut string, staleAllow, escapePoints bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tebaldivet:", err)
@@ -85,20 +127,116 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "tebaldivet:", err)
 		return 3
 	}
-	found := 0
+	analyzers := tebaldivet.All()
+	session := framework.NewSession()
+
+	var fset *token.FileSet
+	seen := map[diagKey]bool{}
+	var diags []framework.Diagnostic
+	sites := map[siteKey]token.Pos{}
+	usedSites := map[siteKey]bool{}
+
 	for _, p := range pkgs {
-		diags, err := framework.Run(p.Fset, p.Files, p.Types, p.Info, tebaldivet.All())
+		fset = p.Fset
+		if p.IllTyped {
+			// Degrade, don't abort: report the broken package and analyze
+			// the rest. Analyzers need complete type info, so the package
+			// itself is skipped.
+			fmt.Fprintf(os.Stderr, "tebaldivet: skipping %s: %v\n", p.ImportPath, p.Err)
+			continue
+		}
+		if p.Types == nil || p.Info == nil {
+			continue
+		}
+		res, err := session.Run(p.Fset, p.Files, p.Types, p.Info, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tebaldivet: %s: %v\n", p.ImportPath, err)
 			return 3
 		}
-		for _, d := range diags {
-			found++
-			fmt.Printf("%s: %s [%s]\n", p.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		for _, d := range res.Diags {
+			pos := p.Fset.Position(d.Pos)
+			k := diagKey{pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			diags = append(diags, d)
+		}
+		for _, s := range res.Allows {
+			pos := p.Fset.Position(s.Pos)
+			sites[siteKey{pos.Filename, pos.Line, s.Analyzer}] = s.Pos
+		}
+		for _, d := range res.Suppressed {
+			// The allow that fired sits on the finding's line or the line
+			// above it; both are live.
+			pos := p.Fset.Position(d.Pos)
+			usedSites[siteKey{pos.Filename, pos.Line, d.Analyzer}] = true
+			usedSites[siteKey{pos.Filename, pos.Line - 1, d.Analyzer}] = true
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "tebaldivet: %d finding(s)\n", found)
+
+	if escapePoints {
+		for _, name := range poolescape.EscapePoints(session.Facts()) {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+
+	stale := 0
+	if staleAllow {
+		var keys []siteKey
+		for k := range sites {
+			if !usedSites[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].file != keys[j].file {
+				return keys[i].file < keys[j].file
+			}
+			if keys[i].line != keys[j].line {
+				return keys[i].line < keys[j].line
+			}
+			return keys[i].analyzer < keys[j].analyzer
+		})
+		for _, k := range keys {
+			stale++
+			fmt.Printf("%s: stale suppression: //lint:allow %s no longer matches a finding\n",
+				fset.Position(sites[k]), k.analyzer)
+		}
+	}
+
+	if sarifOut != "" {
+		log := sarif.Build(wd, fset, analyzers, diags)
+		f, err := os.Create(sarifOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+			return 3
+		}
+		if err := sarif.Write(f, log); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+			return 3
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+			return 3
+		}
+	}
+
+	if len(diags) > 0 || stale > 0 {
+		switch {
+		case stale > 0 && len(diags) > 0:
+			fmt.Fprintf(os.Stderr, "tebaldivet: %d finding(s), %d stale suppression(s)\n", len(diags), stale)
+		case stale > 0:
+			fmt.Fprintf(os.Stderr, "tebaldivet: %d stale suppression(s)\n", stale)
+		default:
+			fmt.Fprintf(os.Stderr, "tebaldivet: %d finding(s)\n", len(diags))
+		}
 		return 1
 	}
 	return 0
@@ -124,7 +262,10 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// unitcheck analyzes the single package described by the cfg file.
+// unitcheck analyzes the single package described by the cfg file. The
+// session's fact store is seeded from the dependencies' .vetx files and
+// re-serialized into VetxOutput, so interprocedural summaries flow between
+// per-package tool invocations exactly as they do standalone.
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -136,14 +277,35 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "tebaldivet: parsing %s: %v\n", cfgPath, err)
 		return 3
 	}
-	// We carry no cross-package facts, but cmd/go expects the output file.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+
+	session := framework.NewSession()
+	for dep, vetx := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tebaldivet: reading facts of %s: %v\n", dep, err)
+			return 3
+		}
+		if err := session.Facts().Decode(payload); err != nil {
+			fmt.Fprintf(os.Stderr, "tebaldivet: facts of %s: %v\n", dep, err)
 			return 3
 		}
 	}
-	if cfg.VetxOnly {
+
+	// writeVetx persists the session facts (dependency facts plus whatever
+	// this unit exported); cmd/go expects the file even when it is empty.
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		payload, err := session.Facts().Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+			return 3
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
+			return 3
+		}
 		return 0
 	}
 
@@ -153,7 +315,7 @@ func unitcheck(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx()
 			}
 			fmt.Fprintln(os.Stderr, "tebaldivet:", err)
 			return 3
@@ -178,20 +340,26 @@ func unitcheck(cfgPath string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx()
 		}
 		fmt.Fprintf(os.Stderr, "tebaldivet: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 3
 	}
-	diags, err := framework.Run(fset, files, tpkg, info, tebaldivet.All())
+	res, err := session.Run(fset, files, tpkg, info, tebaldivet.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tebaldivet: %s: %v\n", cfg.ImportPath, err)
 		return 3
 	}
-	for _, d := range diags {
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range res.Diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 {
+	if len(res.Diags) > 0 {
 		return 2
 	}
 	return 0

@@ -1,0 +1,11 @@
+package ackorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, Analyzer, "ackorder_a")
+}

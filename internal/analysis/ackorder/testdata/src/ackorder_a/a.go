@@ -1,0 +1,182 @@
+// Package ackorder_a seeds the ack-before-fsync shapes the ackorder
+// analyzer must flag, plus every accepted wait idiom.
+package ackorder_a
+
+import (
+	"errors"
+
+	"ackorder_helpers"
+	"repro/internal/wal"
+)
+
+var errTimeout = errors.New("timeout")
+
+type engine struct {
+	mgr *wal.Manager
+}
+
+// --- flagged shapes ---
+
+// commitNoWait drops the durability wait entirely: in sync mode the client
+// is acked before the flush.
+func (e *engine) commitNoWait(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	e.mgr.Commit(id, 1, 0, ticket)
+	return nil // want `returns nil after staging WAL records without a durability wait`
+}
+
+// commitEarlyAck acks on the fast path before the sync wait runs.
+func (e *engine) commitEarlyAck(id uint64, writes map[int][]wal.KV, fast bool) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if fast {
+		return nil // want `returns nil after staging WAL records without a durability wait`
+	}
+	if e.mgr.Synchronous() {
+		ticket.Wait()
+	}
+	return nil
+}
+
+// commitGoWait hands the wait to a goroutine: the ack no longer follows the
+// flush, so it does not count.
+func (e *engine) commitGoWait(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	go ticket.Wait()
+	return nil // want `returns nil after staging WAL records without a durability wait`
+}
+
+// --- accepted shapes ---
+
+// commitFull is the real engine Commit shape: conditional staging, the
+// ticket-guarded commit record, and the sync-gated wait whose fall-through
+// path is provably async.
+func (e *engine) commitFull(id uint64, writes map[int][]wal.KV) error {
+	var ticket *wal.Ticket
+	var epoch uint64
+	if len(writes) > 0 {
+		var err error
+		epoch, ticket, err = e.mgr.Precommit(id, writes)
+		if err != nil {
+			return err
+		}
+	}
+	_ = epoch
+	if ticket != nil {
+		e.mgr.Commit(id, 1, epoch, ticket)
+	}
+	if ticket != nil && e.mgr.Synchronous() {
+		ticket.Wait()
+	}
+	return nil
+}
+
+// commitSyncGate: the plain Synchronous() gate refines the else path.
+func (e *engine) commitSyncGate(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		ticket.Wait()
+	}
+	return nil
+}
+
+// commitDoneChan: receiving from ticket.Done() is a wait; the timeout arm
+// refuses to ack.
+func (e *engine) commitDoneChan(id uint64, writes map[int][]wal.KV, timeout chan struct{}) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		select {
+		case <-ticket.Done():
+		case <-timeout:
+			return errTimeout
+		}
+	}
+	return nil
+}
+
+// commitViaErr: ticket.Err waits internally (fact exported by the wal
+// package).
+func (e *engine) commitViaErr(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		_ = ticket.Err()
+	}
+	return nil
+}
+
+// commitEpochWait: Manager.WaitDurable is a durability wait.
+func (e *engine) commitEpochWait(id uint64, writes map[int][]wal.KV) error {
+	epoch, _, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		e.mgr.WaitDurable(epoch)
+	}
+	return nil
+}
+
+// waitTicket is a same-package wait helper.
+func waitTicket(t *wal.Ticket) {
+	t.Wait()
+}
+
+// commitLocalHelper: the wait hides behind a local helper.
+func (e *engine) commitLocalHelper(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		waitTicket(ticket)
+	}
+	return nil
+}
+
+// commitCrossHelper: the wait hides behind an imported helper's fact.
+func (e *engine) commitCrossHelper(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	if e.mgr.Synchronous() {
+		ackorder_helpers.Block(ticket)
+	}
+	return nil
+}
+
+// commitErrReturn: returning the flush error is an honest ack.
+func (e *engine) commitErrReturn(id uint64, writes map[int][]wal.KV) error {
+	_, ticket, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	return ticket.Err()
+}
+
+// commitAllowed: a justified suppression holds.
+func (e *engine) commitAllowed(id uint64, writes map[int][]wal.KV) error {
+	_, _, err := e.mgr.Precommit(id, writes)
+	if err != nil {
+		return err
+	}
+	//lint:allow ackorder -- seeded: the caller acks after WaitDurable
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package ackorder_helpers exercises the cross-package wait fact: Block
+// takes a ticket and waits on it, so calling it counts as a durability wait
+// in importing packages.
+package ackorder_helpers
+
+import "repro/internal/wal"
+
+// Block waits for t's batch to flush.
+func Block(t *wal.Ticket) {
+	t.Wait()
+}

@@ -1,0 +1,48 @@
+// Package wal is the golden-test stub of repro/internal/wal: the Manager /
+// Ticket surface the ackorder analyzer keys on, shadowing the real module
+// package through the source-first importer.
+package wal
+
+// KV is one staged write.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Ticket tracks one group-commit batch.
+type Ticket struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the batch holding the caller's records is flushed.
+func (t *Ticket) Wait() { <-t.done }
+
+// Done exposes the flush-completion channel.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Err waits for the flush and returns its error: waiting is implied, which
+// the analyzer must recognize.
+func (t *Ticket) Err() error {
+	t.Wait()
+	return t.err
+}
+
+// Manager is the group-commit WAL front end.
+type Manager struct {
+	sync bool
+}
+
+// Precommit stages writes and returns the batch ticket.
+func (m *Manager) Precommit(txnID uint64, writesByShard map[int][]KV) (uint64, *Ticket, error) {
+	return 0, &Ticket{done: make(chan struct{})}, nil
+}
+
+// Commit stages the commit record.
+func (m *Manager) Commit(txnID, commitTS, epoch uint64, tk *Ticket) error { return nil }
+
+// Synchronous reports sync-commit mode.
+func (m *Manager) Synchronous() bool { return m.sync }
+
+// WaitDurable blocks until the given epoch is durable.
+func (m *Manager) WaitDurable(epoch uint64) {}

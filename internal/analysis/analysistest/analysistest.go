@@ -42,6 +42,15 @@ type expectation struct {
 
 // Run loads each import path from ./testdata/src, applies the analyzer, and
 // reports diagnostic/expectation mismatches through t.
+//
+// Interprocedural analyzers are supported: the testdata tree's own
+// dependencies of the target package (stub packages like
+// testdata/src/repro/internal/core, which shadow the real module packages
+// through the source-first importer) are analyzed first in dependency order,
+// sharing one fact session with the target — so callee summaries are present
+// exactly as they would be in the real driver. Want comments in stub
+// packages are honored too; a stub with no wants asserts the analyzer stays
+// quiet on it.
 func Run(t *testing.T, a *framework.Analyzer, importPaths ...string) {
 	t.Helper()
 	wd, err := os.Getwd()
@@ -54,19 +63,30 @@ func Run(t *testing.T, a *framework.Analyzer, importPaths ...string) {
 		Exports: &load.Exports{ModuleDir: wd},
 	}
 	for _, path := range importPaths {
-		pkg, err := loader.Load(path)
-		if err != nil {
+		if _, err := loader.Load(path); err != nil {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags, err := framework.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*framework.Analyzer{a})
-		if err != nil {
-			t.Errorf("analyzing %s: %v", path, err)
+		pkgs := load.Toposort(reachable(loader, path))
+		session := framework.NewSession()
+		var expects []*expectation
+		var diags []framework.Diagnostic
+		failed := false
+		for _, pkg := range pkgs {
+			res, err := session.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*framework.Analyzer{a})
+			if err != nil {
+				t.Errorf("analyzing %s: %v", pkg.ImportPath, err)
+				failed = true
+				break
+			}
+			diags = append(diags, res.Diags...)
+			expects = append(expects, collectWants(t, pkg.Fset, pkg.Files)...)
+		}
+		if failed {
 			continue
 		}
-		expects := collectWants(t, pkg.Fset, pkg.Files)
 		for _, d := range diags {
-			p := pkg.Fset.Position(d.Pos)
+			p := loader.Fset.Position(d.Pos)
 			if !claim(expects, p.Filename, p.Line, d.Message) {
 				t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
 			}
@@ -77,6 +97,31 @@ func Run(t *testing.T, a *framework.Analyzer, importPaths ...string) {
 			}
 		}
 	}
+}
+
+// reachable returns the tree packages transitively imported by path
+// (including path itself). Module and stdlib imports resolve through export
+// data, not the tree, so they never appear.
+func reachable(loader *load.SourceLoader, path string) []*load.Package {
+	var out []*load.Package
+	seen := map[string]bool{}
+	var visit func(p string)
+	visit = func(p string) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		pkg := loader.Package(p)
+		if pkg == nil {
+			return
+		}
+		for _, imp := range pkg.Imports {
+			visit(imp)
+		}
+		out = append(out, pkg)
+	}
+	visit(path)
+	return out
 }
 
 // claim marks the first unmatched expectation at (file, line) whose pattern

@@ -16,7 +16,8 @@ import (
 )
 
 // Analyzer describes one static check. The shape mirrors
-// golang.org/x/tools/go/analysis.Analyzer minus facts and requires.
+// golang.org/x/tools/go/analysis.Analyzer minus requires; object facts are
+// supported through the session FactStore (see facts.go).
 type Analyzer struct {
 	// Name is the check's identifier, used in output and in
 	// //lint:allow suppressions.
@@ -36,7 +37,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags []Diagnostic
+	diags   []Diagnostic
+	facts   *FactStore
+	factErr error
 }
 
 // Diagnostic is one finding.
@@ -55,48 +58,107 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies the analyzers to one package and returns the surviving
-// findings: suppressed findings (see Suppressions) are dropped, and the
-// rest are sorted by position. Analyzer errors are returned as-is.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Result is the full outcome of analyzing one package: the surviving
+// findings, the findings a valid //lint:allow dropped, and every allow site
+// seen — the raw material of the stale-suppression audit.
+type Result struct {
+	// Diags are the unsuppressed findings, sorted by position.
+	Diags []Diagnostic
+	// Suppressed are the findings dropped by a justified allow.
+	Suppressed []Diagnostic
+	// Allows are the justified //lint:allow sites of the package, one per
+	// analyzer name per comment.
+	Allows []AllowSite
+}
+
+// Session runs analyzers over a sequence of packages sharing one fact
+// store. Analyze dependencies before dependents (the driver topologically
+// sorts; the vettool protocol guarantees it) so interprocedural summaries
+// are present when a caller's package is reached.
+type Session struct {
+	facts *FactStore
+}
+
+// NewSession returns a session with an empty fact store.
+func NewSession() *Session { return &Session{facts: NewFactStore()} }
+
+// Facts exposes the session's fact store (vetx encode/decode in the
+// driver).
+func (s *Session) Facts() *FactStore { return s.facts }
+
+// Run applies the analyzers to one package. Suppressed findings are
+// separated, not dropped, and allow sites are reported so the driver can
+// audit them. Analyzer errors are returned as-is.
+func (s *Session) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) (*Result, error) {
 	sup := CollectSuppressions(fset, files)
-	var out []Diagnostic
+	res := &Result{Allows: sup.Sites}
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, facts: s.facts}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
+		if pass.factErr != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, pass.factErr)
+		}
 		for _, d := range pass.diags {
-			if !sup.Allows(fset, a.Name, d.Pos) {
-				out = append(out, d)
+			if sup.Allows(fset, a.Name, d.Pos) {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Diags = append(res.Diags, d)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+	sortDiags(fset, res.Diags)
+	sortDiags(fset, res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return out, nil
 }
 
-// Suppressions maps file -> line -> analyzer names allowed on that line.
+// Run applies the analyzers to one package in a fresh fact-free session and
+// returns the surviving findings. Single-package convenience wrapper.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := NewSession().Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// AllowSite is one justified //lint:allow comment, per analyzer named.
+type AllowSite struct {
+	Analyzer string
+	Pos      token.Pos
+}
+
+// Suppressions indexes the justified //lint:allow comments of a package.
 // A finding is suppressed by a comment of the form
 //
 //	//lint:allow <analyzer> -- <justification>
 //
 // on the finding's line or the line directly above it. The justification
 // is mandatory: a bare allow without a reason does not suppress.
-type Suppressions map[string]map[int][]string
+type Suppressions struct {
+	// lines maps file -> line -> analyzer names allowed on that line.
+	lines map[string]map[int][]string
+	// Sites lists every justified allow in file order.
+	Sites []AllowSite
+}
 
 // CollectSuppressions scans the files' comments for //lint:allow markers.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
-	sup := Suppressions{}
+	sup := Suppressions{lines: map[string]map[int][]string{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -111,13 +173,14 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
 					continue // no justification: not a valid suppression
 				}
 				pos := fset.Position(c.Pos())
-				m := sup[pos.Filename]
+				m := sup.lines[pos.Filename]
 				if m == nil {
 					m = map[int][]string{}
-					sup[pos.Filename] = m
+					sup.lines[pos.Filename] = m
 				}
 				for _, n := range strings.Fields(name) {
 					m[pos.Line] = append(m[pos.Line], n)
+					sup.Sites = append(sup.Sites, AllowSite{Analyzer: n, Pos: c.Pos()})
 				}
 			}
 		}
@@ -128,7 +191,7 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
 // Allows reports whether analyzer name is suppressed at pos.
 func (s Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
 	p := fset.Position(pos)
-	m := s[p.Filename]
+	m := s.lines[p.Filename]
 	if m == nil {
 		return false
 	}

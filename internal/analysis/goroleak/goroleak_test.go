@@ -1,0 +1,11 @@
+package goroleak
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, Analyzer, "goroleak_a")
+}

@@ -1,0 +1,177 @@
+// Package goroleak_a seeds the goroutine-leak shapes: unguarded infinite
+// loops in spawned functions, and every accepted termination idiom.
+package goroleak_a
+
+import "goroleak_dep"
+
+func work() {}
+
+func step() error { return nil }
+
+// --- flagged shapes ---
+
+func spawnBad() {
+	go func() {
+		for { // want `goroutine runs an infinite loop with no channel-signaled exit`
+			work()
+		}
+	}()
+}
+
+// spawnErrorLoop is the readLoop shape: the loop exits on error, but no
+// channel signals shutdown — the analyzer demands the annotation that names
+// who causes that error.
+func spawnErrorLoop() {
+	go func() {
+		for { // want `goroutine runs an infinite loop with no channel-signaled exit`
+			if err := step(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func spawnLocalUnsafe() {
+	go spin() // want `goroutine goroleak_a\.spin runs an infinite loop with no channel-signaled exit`
+}
+
+func spawnCrossUnsafe() {
+	go goroleak_dep.SpinForever() // want `goroutine goroleak_dep\.SpinForever runs an infinite loop`
+}
+
+// spawnSelectBreak is the classic select/break bug: the unlabeled break
+// targets the select, not the loop, so the goroutine never exits.
+func spawnSelectBreak(stop chan struct{}) {
+	go func() {
+		for { // want `goroutine runs an infinite loop with no channel-signaled exit`
+			select {
+			case <-stop:
+				break
+			}
+		}
+	}()
+}
+
+// spawnEmptyAnnotation: a tebaldi:worker with no shutdown description is
+// invalid and suppresses nothing.
+func spawnEmptyAnnotation() {
+	// tebaldi:worker
+	go spin() // want `goroutine goroleak_a\.spin runs an infinite loop`
+}
+
+// --- accepted shapes ---
+
+// spawnSelect: the done/stop-channel idiom.
+func spawnSelect(stop chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// spawnCommaOk: the closable work-queue idiom.
+func spawnCommaOk(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// spawnRange: range over a channel ends at close.
+func spawnRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// spawnBounded: a bounded loop is not an infinite loop.
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+type session struct{ q chan int }
+
+func (s *session) run() {
+	for v := range s.q {
+		_ = v
+	}
+}
+
+// spawnMethod: method resolution through the static callee.
+func spawnMethod(s *session) {
+	go s.run()
+}
+
+// spawnLabeledBreak: a labeled break out of the loop from a select case is a
+// real exit.
+func spawnLabeledBreak(stop chan struct{}, tick chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// spawnAnnotatedGo: the annotation at the go statement vouches for the
+// shutdown path.
+func spawnAnnotatedGo() {
+	// tebaldi:worker test harness: process exit reaps the spinner
+	go spin()
+}
+
+// readLoop drains the wire until the peer disconnects.
+// tebaldi:worker peer disconnect makes step fail and breaks the loop
+func readLoop() {
+	for {
+		if err := step(); err != nil {
+			return
+		}
+	}
+}
+
+// spawnDocAnnotated: the annotation may live on the spawned function's doc.
+func spawnDocAnnotated() {
+	go readLoop()
+}
+
+// spawnCrossSafe: the dep package's Pump is provably terminating.
+func spawnCrossSafe(ch chan int) {
+	go goroleak_dep.Pump(ch)
+}
+
+// spawnAllowed: plain lint suppression also works.
+func spawnAllowed() {
+	go func() {
+		for { //lint:allow goroleak -- seeded: suppression must hold
+			work()
+		}
+	}()
+}

@@ -1,0 +1,22 @@
+// Package goroleak_dep exercises the cross-package goroleak fact: its
+// verdicts travel to spawning packages as exported facts.
+package goroleak_dep
+
+// SpinForever has an unguarded infinite loop. It is never spawned here, so
+// no diagnostic lands in this package — spawning it elsewhere must be
+// flagged through the exported fact.
+func SpinForever() {
+	for {
+	}
+}
+
+// Pump drains ch until it is closed: the comma-ok receive plus return is a
+// provable termination condition.
+func Pump(ch chan int) {
+	for {
+		_, ok := <-ch
+		if !ok {
+			return
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -30,6 +31,16 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// Imports are the package's direct imports (load order input).
+	Imports []string
+	// Err is non-nil when the package failed to list, parse, or type-check.
+	// The load degrades to partial results: Files/Types/Info hold whatever
+	// survived (possibly nil), and the driver decides whether to analyze.
+	Err error
+	// IllTyped marks a package whose type information is incomplete
+	// (Err != nil, or a dependency failed to import). Analyzers relying on
+	// full type info should skip ill-typed packages.
+	IllTyped bool
 }
 
 // listEntry is the subset of `go list -json` output we consume.
@@ -40,6 +51,9 @@ type listEntry struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 	Standard     bool
 	DepOnly      bool
 	Incomplete   bool
@@ -51,7 +65,7 @@ type listEntry struct {
 func goList(dir string, patterns []string) ([]*listEntry, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,Incomplete,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Standard,DepOnly,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -131,6 +145,16 @@ func NewInfo() *types.Info {
 // included — in-package tests compiled with their package, external _test
 // packages as their own entry — so the standalone driver sees exactly the
 // units `go vet -vettool` sees.
+//
+// The load degrades rather than fails: a package that cannot be listed,
+// parsed, or type-checked is returned with Err set and IllTyped true
+// (carrying whatever syntax and partial type information survived), and
+// every other package still loads. Only a driver-level failure (go list
+// itself erroring) aborts the whole load.
+//
+// Packages are returned in dependency order — every package follows the
+// packages it imports — so a fact-sharing analysis session can run over the
+// slice front to back.
 func Packages(moduleDir string, patterns ...string) ([]*Package, error) {
 	entries, err := goList(moduleDir, patterns)
 	if err != nil {
@@ -141,66 +165,147 @@ func Packages(moduleDir string, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", exports.lookup)
 
+	// parse returns every file that parsed plus the first parse error:
+	// a syntactically broken file degrades its package, not the load.
 	parse := func(dir string, names []string) ([]*ast.File, error) {
 		var files []*ast.File
+		var firstErr error
 		for _, name := range names {
 			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
+			if err != nil && firstErr == nil {
+				firstErr = err
 			}
-			files = append(files, f)
+			if f != nil {
+				files = append(files, f)
+			}
 		}
-		return files, nil
+		return files, firstErr
+	}
+
+	// check type-checks one unit, tolerating errors: the returned package
+	// and info are the partial results the checker could produce.
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+		info := NewInfo()
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if firstErr == nil {
+			firstErr = err
+		}
+		return tpkg, info, firstErr
 	}
 
 	var pkgs []*Package
 	for _, e := range entries {
-		if e.DepOnly || e.Standard || len(e.GoFiles) == 0 {
+		if e.DepOnly || e.Standard || (len(e.GoFiles) == 0 && e.Error == nil) {
 			continue
 		}
-		if e.Error != nil {
-			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
-		}
-		files, err := parse(e.Dir, append(append([]string{}, e.GoFiles...), e.TestGoFiles...))
-		if err != nil {
-			return nil, err
-		}
-		info := NewInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
-		}
-		pkgs = append(pkgs, &Package{
+		p := &Package{
 			ImportPath: e.ImportPath,
 			Dir:        e.Dir,
 			Fset:       fset,
-			Files:      files,
-			Types:      tpkg,
-			Info:       info,
-		})
+			Imports:    mergeImports(e.Imports, e.TestImports),
+		}
+		if e.Error != nil {
+			p.Err = fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+			p.IllTyped = true
+		}
+		files, parseErr := parse(e.Dir, append(append([]string{}, e.GoFiles...), e.TestGoFiles...))
+		p.Files = files
+		if parseErr != nil && p.Err == nil {
+			p.Err = parseErr
+			p.IllTyped = true
+		}
+		if len(files) > 0 {
+			tpkg, info, checkErr := check(e.ImportPath, files)
+			p.Types, p.Info = tpkg, info
+			if checkErr != nil {
+				if p.Err == nil {
+					p.Err = fmt.Errorf("type-checking %s: %v", e.ImportPath, checkErr)
+				}
+				p.IllTyped = true
+			}
+		}
+		pkgs = append(pkgs, p)
 		if len(e.XTestGoFiles) > 0 {
-			xfiles, err := parse(e.Dir, e.XTestGoFiles)
-			if err != nil {
-				return nil, err
-			}
-			xinfo := NewInfo()
-			xpkg, err := conf.Check(e.ImportPath+"_test", fset, xfiles, xinfo)
-			if err != nil {
-				return nil, fmt.Errorf("type-checking %s_test: %v", e.ImportPath, err)
-			}
-			pkgs = append(pkgs, &Package{
+			xp := &Package{
 				ImportPath: e.ImportPath + "_test",
 				Dir:        e.Dir,
 				Fset:       fset,
-				Files:      xfiles,
-				Types:      xpkg,
-				Info:       xinfo,
-			})
+				Imports:    append(mergeImports(e.XTestImports, nil), e.ImportPath),
+			}
+			xfiles, xparseErr := parse(e.Dir, e.XTestGoFiles)
+			xp.Files = xfiles
+			if xparseErr != nil {
+				xp.Err = xparseErr
+				xp.IllTyped = true
+			}
+			if len(xfiles) > 0 {
+				xpkg, xinfo, xcheckErr := check(e.ImportPath+"_test", xfiles)
+				xp.Types, xp.Info = xpkg, xinfo
+				if xcheckErr != nil {
+					if xp.Err == nil {
+						xp.Err = fmt.Errorf("type-checking %s_test: %v", e.ImportPath, xcheckErr)
+					}
+					xp.IllTyped = true
+				}
+			}
+			pkgs = append(pkgs, xp)
 		}
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
-	return pkgs, nil
+	return Toposort(pkgs), nil
+}
+
+func mergeImports(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Toposort orders packages so that every package follows its imports
+// (restricted to the given set). The input order breaks ties, and cycles —
+// impossible for valid Go, possible for broken loads — are appended in
+// input order rather than dropped.
+func Toposort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	state := map[*Package]int{} // 0 unvisited, 1 visiting, 2 done
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok && state[dep] == 0 {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // SourceLoader type-checks packages from a GOPATH-style source tree
@@ -252,10 +357,23 @@ func (l *SourceLoader) Load(path string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
 	p := &Package{ImportPath: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if ip, err := strconv.Unquote(spec.Path.Value); err == nil {
+				p.Imports = append(p.Imports, ip)
+			}
+		}
+	}
+	p.Imports = mergeImports(p.Imports, nil)
 	l.pkgs[path] = p
 	l.types[path] = tpkg
 	return p, nil
 }
+
+// Package returns a previously loaded tree package, or nil. Loading a
+// package pulls its tree dependencies in through the source-first importer,
+// so after Load(target) every reachable testdata package is available here.
+func (l *SourceLoader) Package(path string) *Package { return l.pkgs[path] }
 
 // sourceFirstImporter resolves testdata-tree packages from source and
 // everything else from module export data.

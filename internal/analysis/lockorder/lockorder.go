@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/lockset"
+	"repro/internal/analysis/ssa"
 )
 
 // Analyzer is the lockorder check.
@@ -101,7 +102,7 @@ func run(pass *framework.Pass) error {
 					if len(held) == 0 {
 						return
 					}
-					callee := calleeFunc(pass.TypesInfo, call)
+					callee := ssa.StaticCallee(pass.TypesInfo, call)
 					if callee == nil {
 						return
 					}
@@ -288,7 +289,7 @@ func summarize(pass *framework.Pass) map[*types.Func]map[string]bool {
 					}
 					return true
 				}
-				if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if callee := ssa.StaticCallee(pass.TypesInfo, call); callee != nil {
 					callees[callee] = true
 				}
 				return true
@@ -313,25 +314,6 @@ func summarize(pass *framework.Pass) map[*types.Func]map[string]bool {
 		}
 	}
 	return direct
-}
-
-// calleeFunc resolves a call to a function declared in the package under
-// analysis (the only bodies we can summarize).
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, ok := info.Uses[id].(*types.Func)
-	if !ok {
-		return nil
-	}
-	return fn
 }
 
 // reachable reports whether from reaches to in the declared edge graph.

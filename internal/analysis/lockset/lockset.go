@@ -11,6 +11,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/ssa"
 )
 
 // Op is the kind of lock operation a call performs.
@@ -144,7 +146,7 @@ func classOf(info *types.Info, e ast.Expr) (string, bool) {
 	// Mutex stored in a struct field: identify by owner type + field.
 	if sel, ok := e.(*ast.SelectorExpr); ok {
 		if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
-			if named := namedOf(s.Recv()); named != nil {
+			if named := ssa.NamedOf(s.Recv()); named != nil {
 				return typeName(named) + "." + s.Obj().Name(), true
 			}
 		}
@@ -154,7 +156,7 @@ func classOf(info *types.Info, e ast.Expr) (string, bool) {
 	// one "sync.Mutex" class.
 	if id, ok := e.(*ast.Ident); ok {
 		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
-			if named := namedOf(v.Type()); named != nil &&
+			if named := ssa.NamedOf(v.Type()); named != nil &&
 				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
 				if v.Pkg() != nil {
 					return v.Pkg().Name() + "." + v.Name(), true
@@ -165,24 +167,11 @@ func classOf(info *types.Info, e ast.Expr) (string, bool) {
 	// A type that is itself the lock (own Lock/Unlock methods), or a bare
 	// mutex variable: identify by its named type.
 	if tv, ok := info.Types[e]; ok {
-		if named := namedOf(tv.Type); named != nil {
+		if named := ssa.NamedOf(tv.Type); named != nil {
 			return typeName(named), true
 		}
 	}
 	return "", false
-}
-
-func namedOf(t types.Type) *types.Named {
-	for {
-		switch x := t.(type) {
-		case *types.Pointer:
-			t = x.Elem()
-		case *types.Named:
-			return x
-		default:
-			return nil
-		}
-	}
 }
 
 func typeName(n *types.Named) string {

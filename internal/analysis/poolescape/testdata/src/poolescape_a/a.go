@@ -1,0 +1,135 @@
+// Package poolescape_a seeds every escape-edge shape the poolescape
+// analyzer must catch, plus the sanctioned shapes it must stay quiet on.
+package poolescape_a
+
+import "repro/internal/core"
+
+var global *core.Txn
+
+type registry struct{ m map[uint64]*core.Txn }
+
+type handle struct{ t *core.Txn }
+
+type pair struct{ a *core.Txn }
+
+func leakGlobal() {
+	t := core.GetTxn(1)
+	global = t // want `pooled \*core\.Txn stored into package-level variable global without MarkShared`
+	core.PutTxn(t)
+}
+
+func leakMap(r *registry, t *core.Txn) {
+	r.m[0] = t // want `pooled \*core\.Txn stored into element r\.m\[0\] without MarkShared`
+}
+
+func leakField(h *handle, t *core.Txn) {
+	h.t = t // want `pooled \*core\.Txn stored into field h\.t without MarkShared`
+}
+
+func leakPointer(p **core.Txn, t *core.Txn) {
+	*p = t // want `pooled \*core\.Txn stored through pointer \*p without MarkShared`
+}
+
+func leakChan(ch chan *core.Txn, t *core.Txn) {
+	ch <- t // want `pooled \*core\.Txn sent on a channel without MarkShared`
+}
+
+func leakAppend(s []*core.Txn, t *core.Txn) []*core.Txn {
+	return append(s, t) // want `pooled \*core\.Txn retained by append without MarkShared`
+}
+
+func leakComposite(t *core.Txn) {
+	_ = pair{a: t} // want `pooled \*core\.Txn embedded in a composite literal without MarkShared`
+}
+
+func leakGoCapture(t *core.Txn) {
+	go func() { // want `pooled \*core\.Txn captured by a goroutine without MarkShared`
+		_ = t.Shared()
+	}()
+}
+
+func leakGoArg(t *core.Txn) {
+	go observe(t) // want `pooled \*core\.Txn passed to a goroutine without MarkShared`
+}
+
+func leakGoReceiver(t *core.Txn) {
+	go t.Shared() // want `pooled \*core\.Txn receiver of a goroutine method call without MarkShared`
+}
+
+func leakReturnLoad(h *handle) *core.Txn {
+	return h.t // want `pooled \*core\.Txn returned after being loaded from a field or global without MarkShared`
+}
+
+func observe(t *core.Txn) {}
+
+// --- sanctioned shapes: no diagnostics below this line ---
+
+// okMarkedStore: a MarkShared anywhere in the body sanctions the store.
+func okMarkedStore(r *registry, t *core.Txn) {
+	t.MarkShared()
+	r.m[1] = t
+}
+
+// okMarkedLate: publication precedes the mark textually; the rule is
+// flow-insensitive because all escapes happen on the owner goroutine before
+// the pointer is reachable elsewhere.
+func okMarkedLate(r *registry, t *core.Txn) {
+	r.m[2] = t
+	t.MarkShared()
+}
+
+// okCalleeMarks: core.Txn.AddDep's summary marks its parameter, which
+// sanctions the hand-off.
+func okCalleeMarks(t, other *core.Txn) {
+	t.AddDep(other)
+}
+
+// okCalleeEscapes: core.Retain escapes its parameter without marking; the
+// diagnostic is reported in Retain's body, not here.
+func okCalleeEscapes(t *core.Txn) {
+	core.Retain(t)
+}
+
+// okFreshReturn: returning a freshly obtained transaction is the GetTxn
+// wrapper shape, not an escape.
+func okFreshReturn() *core.Txn {
+	return core.GetTxn(2)
+}
+
+// okParamReturn: handing a parameter back to the caller creates no new
+// retention.
+func okParamReturn(t *core.Txn) *core.Txn {
+	return t
+}
+
+// okAlias: plain local aliasing is not an escape.
+func okAlias(t *core.Txn) {
+	u := t
+	_ = u
+}
+
+// Owner is this package's annotated owner handle.
+//
+// tebaldi:txnowner
+type Owner struct{ t *core.Txn }
+
+// okOwnerStore: stores into an annotated owner type transfer ownership on
+// the owning goroutine.
+func okOwnerStore(o *Owner, t *core.Txn) {
+	o.t = t
+}
+
+// okOwnerComposite: building the owner handle around the transaction.
+func okOwnerComposite(t *core.Txn) *Owner {
+	return &Owner{t: t}
+}
+
+// okCrossOwner: the owner annotation travels across packages as a fact.
+func okCrossOwner(h *core.Handle, t *core.Txn) {
+	h.T = t
+}
+
+// okAllow: a justified suppression holds.
+func okAllow(t *core.Txn) {
+	global = t //lint:allow poolescape -- seeded: removed from global before PutTxn
+}

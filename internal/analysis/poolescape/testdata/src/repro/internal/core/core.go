@@ -1,0 +1,49 @@
+// Package core is the golden-test stub of repro/internal/core: just enough
+// surface for the poolescape packages. It shadows the real module package
+// through the source-first importer, so the analyzer sees the same import
+// path (and produces the same fact keys) as in the real repository.
+package core
+
+// Txn is the pooled transaction stub.
+type Txn struct {
+	ID     uint64
+	shared bool
+	deps   map[uint64]*Txn
+}
+
+// GetTxn returns a pooled transaction.
+func GetTxn(id uint64) *Txn { return &Txn{ID: id} }
+
+// PutTxn recycles a transaction unless it is shared.
+func PutTxn(t *Txn) bool { return !t.shared }
+
+// MarkShared records that t's pointer escaped the owning goroutine.
+func (t *Txn) MarkShared() { t.shared = true }
+
+// Shared reports whether the pointer escaped.
+func (t *Txn) Shared() bool { return t.shared }
+
+// AddDep retains other in the receiver's dependency map, marking it shared
+// first — the real core.Txn.AddDep shape. Its summary fact (param 1 escapes
+// and is marked) is what sanctions callers passing transactions in.
+func (t *Txn) AddDep(other *Txn) {
+	other.MarkShared()
+	if t.deps == nil {
+		t.deps = map[uint64]*Txn{}
+	}
+	t.deps[other.ID] = other
+}
+
+// Retain escapes its parameter without marking it: the diagnostic belongs
+// here, in the callee body, and callers are not re-flagged.
+func Retain(t *Txn) {
+	sink.t = t // want `pooled \*core\.Txn stored into field sink\.t without MarkShared`
+}
+
+var sink struct{ t *Txn }
+
+// Handle is an annotated owner handle living in a different package than
+// its users — exercises the cross-package owner fact.
+//
+// tebaldi:txnowner
+type Handle struct{ T *Txn }

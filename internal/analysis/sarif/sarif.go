@@ -1,0 +1,136 @@
+// Package sarif renders tebaldivet findings as SARIF 2.1.0, the format
+// GitHub code scanning ingests. Only the subset code scanning actually
+// reads is emitted: tool/driver rules, and one result per finding with a
+// physical location. Paths are emitted relative to the repository root so
+// the upload maps onto the checked-out tree.
+package sarif
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Version string `json:"version"`
+	Schema  string `json:"$schema"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool invocation.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool describes the analyzer suite.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver is the SARIF toolComponent.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Message wraps SARIF text.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Location / PhysicalLocation / ArtifactLocation / Region are the SARIF
+// position nesting.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Build assembles the document for one run. root is the repository root the
+// artifact URIs are made relative to; diags positions resolve through fset.
+func Build(root string, fset *token.FileSet, analyzers []*framework.Analyzer, diags []framework.Diagnostic) *Log {
+	rules := make([]Rule, 0, len(analyzers))
+	seenRule := map[string]bool{}
+	for _, a := range analyzers {
+		rules = append(rules, Rule{ID: a.Name, ShortDescription: Message{Text: a.Doc}})
+		seenRule[a.Name] = true
+	}
+	// Findings from analyzers outside the declared set (defensive) still
+	// need a rule entry for code scanning to accept the upload.
+	for _, d := range diags {
+		if !seenRule[d.Analyzer] {
+			rules = append(rules, Rule{ID: d.Analyzer, ShortDescription: Message{Text: d.Analyzer}})
+			seenRule[d.Analyzer] = true
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]Result, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		uri := p.Filename
+		if rel, err := filepath.Rel(root, p.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			uri = rel
+		}
+		results = append(results, Result{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: Message{Text: d.Message},
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           Region{StartLine: p.Line, StartColumn: p.Column},
+				},
+			}},
+		})
+	}
+
+	return &Log{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: "tebaldivet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// Write encodes the log as indented JSON.
+func Write(w io.Writer, log *Log) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

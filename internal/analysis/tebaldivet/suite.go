@@ -9,13 +9,26 @@
 //   - atomicmix:  no mixed atomic/plain access to one field
 //   - detguard:   no wall clock / global rand / map-order dependence in
 //     deterministic schedule drivers
+//
+// The v2 interprocedural analyzers (built on internal/analysis/ssa and the
+// framework fact store) machine-check the PR-9 hot-path invariants:
+//
+//   - poolescape: every *core.Txn escape edge dominated by MarkShared; the
+//     escape-point list in internal/core/txn.go is derived, not maintained
+//   - goroleak:   every spawned goroutine provably terminates (or carries a
+//     tebaldi:worker annotation naming its shutdown path)
+//   - ackorder:   no commit acked (nil error) on a path that staged WAL
+//     records but skipped the durability wait in sync mode
 package tebaldivet
 
 import (
+	"repro/internal/analysis/ackorder"
 	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/detguard"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/poolescape"
 	"repro/internal/analysis/syncerr"
 	"repro/internal/analysis/unlockpath"
 )
@@ -28,5 +41,8 @@ func All() []*framework.Analyzer {
 		syncerr.Analyzer,
 		atomicmix.Analyzer,
 		detguard.Analyzer,
+		poolescape.Analyzer,
+		goroleak.Analyzer,
+		ackorder.Analyzer,
 	}
 }

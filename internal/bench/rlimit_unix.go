@@ -14,7 +14,6 @@ func raiseFDLimit() {
 	}
 	if lim.Cur < lim.Max {
 		lim.Cur = lim.Max
-		//lint:allow syncerr -- best-effort limit bump; the dial loop reports EMFILE if it still bites
 		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
 	}
 }

@@ -222,7 +222,6 @@ func startInProcess(keyspace int) (addr string, stop func(), srv *server.Server,
 	}
 	go srv.Serve(ln)
 	stop = func() {
-		//lint:allow syncerr -- bench teardown; a drain timeout here only means straggler connections were cut
 		srv.Shutdown(5 * time.Second)
 		db.Close()
 	}

@@ -192,6 +192,7 @@ func (r *RP) firstBlockingDep(t *core.Txn, target int) *core.Txn {
 			continue
 		}
 		if ds.step() <= target {
+			//lint:allow poolescape -- d.T was marked shared when AddDep recorded it; returning an already-shared txn adds no escape
 			return d.T
 		}
 	}

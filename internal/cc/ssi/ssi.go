@@ -230,6 +230,7 @@ func (s *SSI) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.
 			if s.env.Watermark != nil {
 				wm = s.env.Watermark()
 			}
+			//lint:allow poolescape -- RecordReader marks rec.T shared before linking the record into the reader list
 			ch.RecordReader(core.ReadRec{T: t, SnapshotTS: sl.snapTS, Batch: sl.flags()}, wm)
 			last := len(sl.readChains) - 1
 			if last < 0 || sl.readChains[last] != ch {
@@ -312,6 +313,7 @@ func (s *SSI) AmendRead(t *core.Txn, k core.Key, ch *core.Chain, proposal *core.
 		if s.env.Watermark != nil {
 			wm = s.env.Watermark()
 		}
+		//lint:allow poolescape -- RecordReader marks rec.T shared before linking the record into the reader list
 		ch.RecordReader(core.ReadRec{T: t, SnapshotTS: sl.snapTS, Batch: sl.flags()}, wm)
 		last := len(sl.readChains) - 1
 		if last < 0 || sl.readChains[last] != ch {

@@ -60,18 +60,29 @@ type WriteRef struct {
 // read-only transactions allocation-free. Recycling is safe only if no other
 // goroutine can still hold the pointer when it is reused, so every operation
 // that lets the pointer escape the owning goroutine sets a sticky `shared`
-// flag, and PutTxn refuses to recycle a shared transaction. The escape
-// points are:
+// flag, and PutTxn refuses to recycle a shared transaction.
 //
-//   - AddWrite / InstallPromise: an installed Version carries Writer *Txn,
-//     which late readers may follow long after commit.
+// The escape-point list is no longer maintained by hand: the poolescape
+// analyzer (internal/analysis/poolescape) derives it from the code and flags
+// any escape edge not dominated by a MarkShared call. Print the current list
+// with:
+//
+//	go run ./cmd/tebaldivet -escapepoints ./internal/...
+//
+// As of this writing it is:
+//
+//   - Txn.AddWrite / Chain.InstallPromise: an installed Version carries
+//     Writer *Txn, which late readers may follow long after commit.
 //   - Chain.RecordReader: the chain's reader list holds ReadRec.T.
-//   - AddDep: the *target* transaction's pointer enters this txn's deps map
-//     (targets reaching AddDep are already shared — they came from a version
-//     or a lock table — but AddDep re-marks them for robustness).
-//   - lockmgr.Acquire: the lock table's owner map and blocked waiters retain
-//     the pointer (lockmgr calls MarkShared).
-//   - Tx.Txn(): an external handle escapes to tooling/tests.
+//   - Txn.AddDep: the *target* transaction's pointer enters this txn's deps
+//     map (targets reaching AddDep are already shared — they came from a
+//     version or a lock table — but AddDep re-marks them for robustness).
+//   - lockmgr.Table.Acquire: the lock table's owner map and blocked waiters
+//     retain the pointer.
+//   - engine.Tx.Txn: an external handle escapes to tooling/tests.
+//   - engine.Engine.loadVersion: bulk load installs versions outside any CC
+//     tree, so the synthetic writer is marked at construction. (This one was
+//     missing from the hand-maintained list — the analyzer found it.)
 //
 // All escapes happen on the owner goroutine before the pointer is published,
 // so the flag check at finish time is race-free. Read-only transactions under

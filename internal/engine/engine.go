@@ -300,6 +300,7 @@ func (e *Engine) RunTxn(typ string, part uint64, fn func(*Tx) error) error {
 func (e *Engine) register(t *core.Txn) {
 	s := &e.active[t.ID%64]
 	s.mu.Lock()
+	//lint:allow poolescape -- the active registry is mu-guarded and unregister removes the entry before release/PutTxn, so no reference survives into the next pool life
 	s.txns[t.ID] = t
 	s.mu.Unlock()
 }

@@ -9,7 +9,11 @@ import (
 )
 
 // Tx is a handle on one executing transaction. All methods must be called
-// from a single goroutine (transactions are client-driven, §4.5.1).
+// from a single goroutine (transactions are client-driven, §4.5.1). The
+// handle stays on the owning goroutine, so storing the transaction pointer
+// into it is ownership transfer, not publication.
+//
+// tebaldi:txnowner
 type Tx struct {
 	e *Engine
 	t *core.Txn

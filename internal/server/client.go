@@ -70,6 +70,9 @@ func (c *Client) Close() error {
 	return err
 }
 
+// readLoop dispatches response frames to their pending request channels.
+//
+// tebaldi:worker Close closes the conn; the blocked read fails and the loop returns, closing readerDone
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	br := bufio.NewReader(c.nc)

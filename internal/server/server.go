@@ -78,6 +78,8 @@ func (s *Server) DB() *tebaldi.DB { return s.db }
 // Serve accepts connections on ln until Shutdown closes it. It blocks; run
 // it on its own goroutine. The listener is owned by the server from this
 // point on.
+//
+// tebaldi:worker Shutdown closes the listener; Accept fails with net.ErrClosed and the loop returns
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
@@ -226,6 +228,9 @@ type session struct {
 	tx *tebaldi.Tx
 }
 
+// readLoop drains frames from the connection until it fails.
+//
+// tebaldi:worker Shutdown (or the peer) closes the conn; ReadFrame fails and the loop returns
 func (c *conn) readLoop() {
 	br := bufio.NewReader(c.nc)
 	for {

@@ -36,7 +36,6 @@ func newTestServer(t *testing.T, opts tebaldi.Options) (*Server, string) {
 	}
 	go srv.Serve(ln)
 	t.Cleanup(func() {
-		//lint:allow syncerr -- test teardown; a drain timeout only means a test left a session open deliberately
 		srv.Shutdown(2 * time.Second)
 		db.Close()
 	})
